@@ -1,0 +1,50 @@
+//! Figure 9 bench: context-sensitive vs context-insensitive analysis on
+//! the two large benchmarks (mg, plasma).
+//!
+//! Reproduction target (paper §7): CI is substantially slower on both —
+//! the paper measured 5.0× on mg (5.2 s → 25.9 s) and 10.2× on plasma
+//! (16.5 s → 167.8 s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fx10_core::analysis::SolverKind;
+use fx10_core::Mode;
+use fx10_frontend::gen::analyze_condensed;
+use fx10_suite::benchmark;
+
+fn bench_cs_vs_ci(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cs_vs_ci");
+    group.sample_size(10);
+    for name in ["mg", "plasma"] {
+        let bm = benchmark(name).expect("benchmark exists");
+        group.bench_with_input(
+            BenchmarkId::new("context_sensitive", name),
+            &bm.program,
+            |b, p| {
+                b.iter(|| {
+                    std::hint::black_box(analyze_condensed(
+                        p,
+                        Mode::ContextSensitive,
+                        SolverKind::Naive,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("context_insensitive", name),
+            &bm.program,
+            |b, p| {
+                b.iter(|| {
+                    std::hint::black_box(analyze_condensed(
+                        p,
+                        Mode::ContextInsensitive { keep_scross: true },
+                        SolverKind::Naive,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cs_vs_ci);
+criterion_main!(benches);

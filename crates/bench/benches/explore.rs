@@ -1,0 +1,41 @@
+//! Exhaustive state-space exploration: sequential vs multi-threaded
+//! explorer on the paper's examples and a fan-out stress program. This is
+//! the machinery behind the ground-truth (dynamic) MHP used to validate
+//! Theorem 2/3 empirically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fx10_semantics::{explore, explore_parallel, ExploreConfig};
+use fx10_syntax::{examples, Program};
+
+fn fanout(width: usize) -> Program {
+    let mut body = String::new();
+    for i in 0..width {
+        body.push_str(&format!("async {{ S{i}; T{i}; }}\n"));
+    }
+    Program::parse(&format!("def main() {{ finish {{ {body} }} K; }}")).expect("fanout parses")
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, Program)> = vec![
+        ("example_2_1", examples::example_2_1()),
+        ("same_category", examples::same_category()),
+        ("fanout5", fanout(5)),
+    ];
+    for (name, p) in &cases {
+        group.bench_with_input(BenchmarkId::new("sequential", name), p, |b, p| {
+            b.iter(|| std::hint::black_box(explore(p, &[], ExploreConfig::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", name), p, |b, p| {
+            b.iter(|| {
+                std::hint::black_box(explore_parallel(p, &[], ExploreConfig::default(), 4))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

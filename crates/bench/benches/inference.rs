@@ -1,0 +1,35 @@
+//! Figure 8 bench: context-sensitive type-inference time per benchmark.
+//!
+//! The paper's absolute times (153 ms … 16.5 s on a 2003-era Xeon) are
+//! not reproducible; the target is the *ordering*: plasma ≫ mg ≫
+//! raytracer/montecarlo ≫ the small benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fx10_core::analysis::SolverKind;
+use fx10_core::Mode;
+use fx10_frontend::gen::analyze_condensed;
+use fx10_suite::all_benchmarks;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_cs");
+    group.sample_size(10);
+    for bm in all_benchmarks() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bm.spec.name),
+            &bm.program,
+            |b, p| {
+                b.iter(|| {
+                    std::hint::black_box(analyze_condensed(
+                        p,
+                        Mode::ContextSensitive,
+                        SolverKind::Naive,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Interpreter throughput: small-step transitions per second under each
+//! scheduler. Not a paper table (the paper never executes FX10), but the
+//! operational semantics is a first-class artifact here and its cost
+//! model matters for the exhaustive explorer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fx10_semantics::{run, Scheduler};
+use fx10_syntax::Program;
+
+/// A busy terminating program: nested finishes over async fan-out,
+/// repeated via bounded loops.
+fn workload() -> Program {
+    Program::parse(
+        "def bump() { a[2] = a[2] + 1; }\n\
+         def fan() {\n\
+           finish {\n\
+             async { bump(); bump(); }\n\
+             async { bump(); bump(); }\n\
+             async { bump(); }\n\
+           }\n\
+         }\n\
+         def main() {\n\
+           a[0] = 1;\n\
+           a[1] = -8;\n\
+           while (a[0] != 0) {\n\
+             fan(); fan();\n\
+             a[0] = a[1] + 1;\n\
+             a[1] = a[3] + 1;\n\
+           }\n\
+         }",
+    )
+    .expect("workload parses")
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let p = workload();
+    // Baseline run to size the throughput counter.
+    let steps = run(&p, &[], Scheduler::Leftmost, 1_000_000).steps;
+    let mut group = c.benchmark_group("interp_steps");
+    group.throughput(Throughput::Elements(steps));
+    for (name, sched) in [
+        ("leftmost", Scheduler::Leftmost),
+        ("rightmost", Scheduler::Rightmost),
+        ("random", Scheduler::Random(7)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sched, |b, s| {
+            b.iter(|| std::hint::black_box(run(&p, &[], s.clone(), 1_000_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,384 @@
+//! The high-level analysis driver: index → `Slabels` → generate →
+//! solve level-1 → simplify → solve level-2, i.e. the paper's three-step
+//! implementation (§5.3), with the statistics Figures 6, 8 and 9 report.
+
+use crate::gen::{self, GenOutput, Mode};
+use crate::index::StmtIndex;
+use crate::sets::{LabelSet, PairSet};
+use crate::slabels::{compute_slabels, SlabelsResult};
+use crate::solver::{
+    solve_pair_naive, solve_pair_worklist, solve_set_naive, solve_set_worklist, PairSolution,
+    SetSolution,
+};
+use fx10_syntax::{FuncId, Label, Program};
+
+/// Which fixed-point algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// The paper's round-robin iteration; pass counts are reported.
+    Naive,
+    /// Worklist iteration (same solutions, fewer evaluations).
+    Worklist,
+    /// SCC-condensation level-2 solve (worklist for the set phases).
+    Scc,
+    /// Multi-threaded SCC-condensation level-2 solve with the given
+    /// thread count (worklist for the set phases).
+    SccParallel(usize),
+}
+
+/// Counters matching the evaluation tables.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisStats {
+    /// Figure 6 "#constraints / Slabels".
+    pub slabels_constraints: usize,
+    /// Figure 6 "#constraints / level-1".
+    pub level1_constraints: usize,
+    /// Figure 6 "#constraints / level-2".
+    pub level2_constraints: usize,
+    /// Figure 8 "Number of iterations / Slabels".
+    pub slabels_passes: usize,
+    /// Figure 8 "Number of iterations / level-1".
+    pub level1_passes: usize,
+    /// Figure 8 "Number of iterations / level-2".
+    pub level2_passes: usize,
+    /// Constraint evaluations across all three phases.
+    pub evals: usize,
+    /// Bytes held by all solved sets (Figure 8 "space" analogue).
+    pub bytes: usize,
+    /// Wall-clock time of the analysis.
+    pub millis: f64,
+}
+
+/// A solved analysis of one program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    mode: Mode,
+    idx: StmtIndex,
+    slabels: SlabelsResult,
+    l1: SetSolution,
+    l2: PairSolution,
+    gen: GenOutput,
+    main: FuncId,
+    /// Statistics gathered while solving.
+    pub stats: AnalysisStats,
+}
+
+/// Runs the paper's context-sensitive analysis with the naive
+/// (iteration-counting) solver.
+pub fn analyze(p: &Program) -> Analysis {
+    analyze_with(p, Mode::ContextSensitive, SolverKind::Naive)
+}
+
+/// Runs the §7 context-insensitive baseline (naive solver).
+pub fn analyze_ci(p: &Program) -> Analysis {
+    analyze_with(
+        p,
+        Mode::ContextInsensitive { keep_scross: true },
+        SolverKind::Naive,
+    )
+}
+
+/// Runs the analysis with explicit mode and solver choice.
+pub fn analyze_with(p: &Program, mode: Mode, solver: SolverKind) -> Analysis {
+    let start = std::time::Instant::now();
+    let idx = StmtIndex::build(p);
+    // Step 1: solve the Slabels equations.
+    let slabels = compute_slabels(&idx, solver == SolverKind::Naive);
+    // Step 2: generate and solve the level-1 constraints.
+    let gen = gen::generate(p, &idx, &slabels, mode);
+    let l1 = match solver {
+        SolverKind::Naive => solve_set_naive(&gen.level1),
+        _ => solve_set_worklist(&gen.level1),
+    };
+    // Step 3: simplify and solve the level-2 constraints.
+    let l2sys = gen::simplify(&gen, &l1, &slabels);
+    let l2 = match solver {
+        SolverKind::Naive => solve_pair_naive(&l2sys),
+        SolverKind::Worklist => solve_pair_worklist(&l2sys),
+        SolverKind::Scc => crate::scc::solve_pair_scc(&l2sys),
+        SolverKind::SccParallel(t) => crate::scc::solve_pair_scc_parallel(&l2sys, t),
+    };
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+
+    let stats = AnalysisStats {
+        slabels_constraints: slabels.constraint_count,
+        level1_constraints: gen.level1.constraints.len(),
+        level2_constraints: gen.level2.len(),
+        slabels_passes: slabels.passes,
+        level1_passes: l1.passes,
+        level2_passes: l2.passes,
+        evals: slabels.evals + l1.evals + l2.evals,
+        bytes: slabels.bytes() + l1.bytes() + l2.bytes(),
+        millis,
+    };
+
+    Analysis {
+        mode,
+        main: p.main(),
+        idx,
+        slabels,
+        l1,
+        l2,
+        gen,
+        stats,
+    }
+}
+
+impl Analysis {
+    /// Which analysis produced this result.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The statement index the analysis was run over.
+    pub fn index(&self) -> &StmtIndex {
+        &self.idx
+    }
+
+    /// The solved `Slabels` function.
+    pub fn slabels(&self) -> &SlabelsResult {
+        &self.slabels
+    }
+
+    /// The generated constraint systems (for rendering, Figure 5).
+    pub fn generated(&self) -> &GenOutput {
+        &self.gen
+    }
+
+    /// `M` of the main method — by Theorem 3 a conservative approximation
+    /// of `MHP(p)`.
+    pub fn mhp(&self) -> &PairSet {
+        self.mhp_of(self.main)
+    }
+
+    /// `M_i` of a method.
+    pub fn mhp_of(&self, f: FuncId) -> &PairSet {
+        self.l2.get(self.gen.layout.mi(f))
+    }
+
+    /// `O_i` of a method: labels that may still be executing when a call
+    /// to it returns.
+    pub fn o_of(&self, f: FuncId) -> &LabelSet {
+        self.l1.get(self.gen.layout.oi(f))
+    }
+
+    /// `m_s` of a statement.
+    pub fn m_of_stmt(&self, s: crate::index::StmtId) -> &PairSet {
+        self.l2.get(self.gen.layout.m(s))
+    }
+
+    /// `r_s` / `o_s` of a statement.
+    pub fn r_of_stmt(&self, s: crate::index::StmtId) -> &LabelSet {
+        self.l1.get(self.gen.layout.r(s))
+    }
+
+    /// `o_s` of a statement.
+    pub fn o_of_stmt(&self, s: crate::index::StmtId) -> &LabelSet {
+        self.l1.get(self.gen.layout.o(s))
+    }
+
+    /// May the instructions labeled `a` and `b` happen in parallel?
+    pub fn may_happen_in_parallel(&self, a: Label, b: Label) -> bool {
+        self.mhp().contains(a, b)
+    }
+
+    /// All MHP pairs as (name, name), sorted — convenient for tests and
+    /// reports.
+    pub fn pairs_named(&self, p: &Program) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .mhp()
+            .iter_pairs()
+            .map(|(a, b)| {
+                let (x, y) = (p.labels().display(a), p.labels().display(b));
+                if x <= y {
+                    (x, y)
+                } else {
+                    (y, x)
+                }
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Builds the type environment `E = { f_i ↦ (M_i, O_i) }` from the
+    /// constraint solution — the `φ extends E` direction of Theorem 4.
+    pub fn type_env(&self) -> crate::typesystem::TypeEnv {
+        let u = self.idx.method_count();
+        crate::typesystem::TypeEnv::new(
+            (0..u)
+                .map(|i| {
+                    let f = FuncId(i as u32);
+                    crate::typesystem::MethodSummary {
+                        m: self.mhp_of(f).clone(),
+                        o: self.o_of(f).clone(),
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_syntax::examples;
+
+    fn pairs(p: &Program, a: &Analysis) -> Vec<(String, String)> {
+        a.pairs_named(p)
+    }
+
+    fn norm(v: Vec<(&str, &str)>) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = v
+            .into_iter()
+            .map(|(a, b)| {
+                if a <= b {
+                    (a.to_string(), b.to_string())
+                } else {
+                    (b.to_string(), a.to_string())
+                }
+            })
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn example_2_1_exact_pairs() {
+        // §2.1/§5.4: "the output from our constraint solver says correctly
+        // that S2 may happen in parallel with each of S5, S6, S7, S8, S11,
+        // and S12, as well as with the entire finish statement [S13], that
+        // S11 and S12 may happen in parallel, and that S7 and S11 may
+        // happen in parallel" — and nothing else.
+        let p = examples::example_2_1();
+        let a = analyze(&p);
+        assert_eq!(
+            pairs(&p, &a),
+            norm(examples::example_2_1_expected_pairs())
+        );
+    }
+
+    #[test]
+    fn example_2_2_exact_pairs_context_sensitive() {
+        let p = examples::example_2_2();
+        let a = analyze(&p);
+        assert_eq!(
+            pairs(&p, &a),
+            norm(examples::example_2_2_expected_pairs())
+        );
+        // In particular, no (S3, S4).
+        let s3 = p.labels().lookup("S3").unwrap();
+        let s4 = p.labels().lookup("S4").unwrap();
+        assert!(!a.may_happen_in_parallel(s3, s4));
+    }
+
+    #[test]
+    fn example_2_2_ci_adds_exactly_the_spurious_pairs() {
+        let p = examples::example_2_2();
+        let ci = analyze_ci(&p);
+        let mut expected = examples::example_2_2_expected_pairs();
+        expected.extend(examples::example_2_2_ci_extra_pairs());
+        assert_eq!(pairs(&p, &ci), norm(expected));
+        let s3 = p.labels().lookup("S3").unwrap();
+        let s4 = p.labels().lookup("S4").unwrap();
+        assert!(ci.may_happen_in_parallel(s3, s4), "the CI false positive");
+    }
+
+    #[test]
+    fn ci_dropping_scross_changes_nothing() {
+        // §7: "for a context-insensitive analysis we can remove
+        // Scross_p(p(f_i), R) from Rule (82) without changing the
+        // analysis."
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::add_twice(),
+            examples::same_category(),
+        ] {
+            let with = analyze_with(
+                &p,
+                Mode::ContextInsensitive { keep_scross: true },
+                SolverKind::Naive,
+            );
+            let without = analyze_with(
+                &p,
+                Mode::ContextInsensitive { keep_scross: false },
+                SolverKind::Naive,
+            );
+            assert_eq!(with.mhp(), without.mhp());
+        }
+    }
+
+    #[test]
+    fn cs_is_subset_of_ci() {
+        // The CI analysis is strictly more conservative.
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::same_category(),
+            examples::self_category(),
+        ] {
+            let cs = analyze(&p);
+            let ci = analyze_ci(&p);
+            assert!(cs.mhp().is_subset(ci.mhp()));
+        }
+    }
+
+    #[test]
+    fn naive_and_worklist_agree_on_solutions() {
+        for p in [examples::example_2_1(), examples::example_2_2()] {
+            let a = analyze_with(&p, Mode::ContextSensitive, SolverKind::Naive);
+            let b = analyze_with(&p, Mode::ContextSensitive, SolverKind::Worklist);
+            assert_eq!(a.mhp(), b.mhp());
+            for f in 0..p.method_count() {
+                let f = FuncId(f as u32);
+                assert_eq!(a.o_of(f), b.o_of(f));
+                assert_eq!(a.mhp_of(f), b.mhp_of(f));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_self_pair_is_found() {
+        let p = examples::self_category();
+        let a = analyze(&p);
+        let s1 = p.labels().lookup("S1").unwrap();
+        assert!(a.may_happen_in_parallel(s1, s1), "loop async body × itself");
+    }
+
+    #[test]
+    fn same_category_pairs_found() {
+        let p = examples::same_category();
+        let a = analyze(&p);
+        let s1 = p.labels().lookup("S1").unwrap();
+        let s2 = p.labels().lookup("S2").unwrap();
+        assert!(a.may_happen_in_parallel(s1, s2));
+    }
+
+    #[test]
+    fn conclusion_false_positive_is_reported_statically() {
+        // The analysis assumes loop bodies execute ≥ 2 times, so it
+        // reports (S1, S2) even though the loop is dead — the paper's one
+        // identified false-positive pattern (§8).
+        let p = examples::conclusion_false_positive();
+        let a = analyze(&p);
+        let s1 = p.labels().lookup("S1").unwrap();
+        let s2 = p.labels().lookup("S2").unwrap();
+        assert!(a.may_happen_in_parallel(s1, s2));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let p = examples::example_2_1();
+        let a = analyze(&p);
+        assert_eq!(a.stats.slabels_constraints, a.stats.level2_constraints);
+        assert!(a.stats.level1_constraints > a.stats.level2_constraints);
+        assert!(a.stats.slabels_passes >= 2);
+        assert!(a.stats.level1_passes >= 2);
+        assert!(a.stats.level2_passes >= 2);
+        assert!(a.stats.bytes > 0);
+        assert!(a.stats.evals > 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Dense statement indexing.
+//!
+//! The constraint formulation needs variables `r_s`, `o_s`, `m_s` "for
+//! every statement s" (§5.1), where statements are *suffixes* of
+//! instruction sequences (`s ::= i | i s`). Every instruction heads
+//! exactly one such suffix, and labels are dense per instruction, so we
+//! identify a statement with the label of its head instruction:
+//! [`StmtId`] `== Label` numerically. That makes every per-statement table
+//! a flat `Vec` indexed by label.
+
+use fx10_syntax::{FuncId, InstrKind, Label, Program, Stmt};
+
+/// Identifies the suffix statement headed by the instruction with this
+/// label index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+impl StmtId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The label of the statement's head instruction (identical index).
+    #[inline]
+    pub fn label(self) -> Label {
+        Label(self.0)
+    }
+}
+
+/// The head-instruction shape of a statement, with nested statements
+/// referenced by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `skip` or `a[d] = e` — straight-line instructions are
+    /// indistinguishable to the analysis.
+    Simple,
+    /// `while (a[d] != 0) body`.
+    While {
+        /// The loop body statement.
+        body: StmtId,
+    },
+    /// `async body`.
+    Async {
+        /// The spawned statement.
+        body: StmtId,
+    },
+    /// `finish body`.
+    Finish {
+        /// The awaited statement.
+        body: StmtId,
+    },
+    /// `f()`.
+    Call {
+        /// The called method.
+        callee: FuncId,
+    },
+}
+
+/// Everything the analysis needs to know about one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtInfo {
+    /// Head shape.
+    pub kind: StmtKind,
+    /// The continuation suffix (`s₁` in `i s₁`), if any.
+    pub tail: Option<StmtId>,
+    /// The enclosing method.
+    pub method: FuncId,
+}
+
+/// Per-program statement index.
+#[derive(Debug, Clone)]
+pub struct StmtIndex {
+    stmts: Vec<StmtInfo>,
+    body_of_method: Vec<StmtId>,
+}
+
+impl StmtIndex {
+    /// Builds the index by walking every method body.
+    pub fn build(p: &Program) -> StmtIndex {
+        let mut stmts = vec![
+            StmtInfo {
+                kind: StmtKind::Simple,
+                tail: None,
+                method: FuncId(0),
+            };
+            p.label_count()
+        ];
+        let mut body_of_method = Vec::with_capacity(p.method_count());
+
+        fn walk(s: &Stmt, m: FuncId, stmts: &mut [StmtInfo]) -> StmtId {
+            let first = StmtId(s.head().label.0);
+            let ids: Vec<StmtId> = s.instrs().iter().map(|i| StmtId(i.label.0)).collect();
+            for (k, instr) in s.instrs().iter().enumerate() {
+                let kind = match &instr.kind {
+                    InstrKind::Skip | InstrKind::Assign { .. } => StmtKind::Simple,
+                    InstrKind::While { body, .. } => StmtKind::While {
+                        body: walk(body, m, stmts),
+                    },
+                    InstrKind::Async { body } => StmtKind::Async {
+                        body: walk(body, m, stmts),
+                    },
+                    InstrKind::Finish { body } => StmtKind::Finish {
+                        body: walk(body, m, stmts),
+                    },
+                    InstrKind::Call { callee } => StmtKind::Call { callee: *callee },
+                };
+                stmts[ids[k].index()] = StmtInfo {
+                    kind,
+                    tail: ids.get(k + 1).copied(),
+                    method: m,
+                };
+            }
+            first
+        }
+
+        for (mi, method) in p.methods().iter().enumerate() {
+            let first = walk(method.body(), FuncId(mi as u32), &mut stmts);
+            body_of_method.push(first);
+        }
+
+        StmtIndex {
+            stmts,
+            body_of_method,
+        }
+    }
+
+    /// Number of statements (== number of labels).
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// True iff the program had no instructions (impossible for validated
+    /// programs).
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Info for one statement.
+    #[inline]
+    pub fn info(&self, s: StmtId) -> &StmtInfo {
+        &self.stmts[s.index()]
+    }
+
+    /// The statement id of a method's body.
+    #[inline]
+    pub fn method_body(&self, f: FuncId) -> StmtId {
+        self.body_of_method[f.index()]
+    }
+
+    /// Number of methods.
+    pub fn method_count(&self) -> usize {
+        self.body_of_method.len()
+    }
+
+    /// Iterates all statement ids.
+    pub fn ids(&self) -> impl Iterator<Item = StmtId> {
+        (0..self.stmts.len() as u32).map(StmtId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_syntax::examples;
+
+    #[test]
+    fn index_of_example_2_2() {
+        let p = examples::example_2_2();
+        let idx = StmtIndex::build(&p);
+        assert_eq!(idx.len(), p.label_count());
+        assert_eq!(idx.method_count(), 2);
+
+        // f's body: lone async with a skip body.
+        let f = p.find_method("f").unwrap();
+        let fb = idx.method_body(f);
+        let info = idx.info(fb);
+        assert_eq!(info.method, f);
+        assert!(info.tail.is_none());
+        match info.kind {
+            StmtKind::Async { body } => {
+                assert_eq!(idx.info(body).kind, StmtKind::Simple);
+                assert!(idx.info(body).tail.is_none());
+            }
+            k => panic!("expected async, got {k:?}"),
+        }
+
+        // main's body: finish S1 with tail finish S2.
+        let main = p.main();
+        let mb = idx.method_body(main);
+        let info = idx.info(mb);
+        assert_eq!(p.labels().display(mb.label()), "S1");
+        let s2 = info.tail.expect("S1 has continuation S2");
+        assert_eq!(p.labels().display(s2.label()), "S2");
+        assert!(idx.info(s2).tail.is_none());
+
+        // Inside S1's finish: async A3 then call F1.
+        match info.kind {
+            StmtKind::Finish { body } => {
+                let a3 = idx.info(body);
+                assert!(matches!(a3.kind, StmtKind::Async { .. }));
+                let f1 = a3.tail.unwrap();
+                assert_eq!(idx.info(f1).kind, StmtKind::Call { callee: f });
+                assert!(idx.info(f1).tail.is_none());
+            }
+            k => panic!("expected finish, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn while_bodies_are_indexed() {
+        let p = fx10_syntax::Program::parse(
+            "def main() { while (a[0] != 0) { a[0] = 0; S; } K; }",
+        )
+        .unwrap();
+        let idx = StmtIndex::build(&p);
+        let mb = idx.method_body(p.main());
+        match idx.info(mb).kind {
+            StmtKind::While { body } => {
+                assert_eq!(idx.info(body).kind, StmtKind::Simple);
+                let s = idx.info(body).tail.unwrap();
+                assert!(idx.info(s).tail.is_none());
+            }
+            k => panic!("expected while, got {k:?}"),
+        }
+        assert!(idx.info(idx.info(mb).tail.unwrap()).tail.is_none());
+    }
+}

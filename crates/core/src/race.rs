@@ -1,0 +1,208 @@
+//! A data-race detector built on the MHP analysis.
+//!
+//! The paper motivates MHP analysis as "a good basis for other analyses
+//! such as race detectors" (§1, citing Choi et al.). This module is that
+//! client: two instructions race when they may happen in parallel, access
+//! the same array cell, and at least one writes it.
+//!
+//! FX10 accesses: `a[d] = e` writes `d` (and reads `d'` when `e` is
+//! `a[d'] + 1`); `while (a[d] != 0)` reads `d`.
+
+use crate::analysis::Analysis;
+use fx10_syntax::{Expr, InstrKind, Label, Program};
+
+/// How an instruction touches a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// The instruction reads the cell.
+    Read,
+    /// The instruction writes the cell.
+    Write,
+}
+
+/// One access of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The instruction's label.
+    pub label: Label,
+    /// The array index.
+    pub index: usize,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A potential race: two parallel accesses to one cell, one a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Race {
+    /// First access (label order: `first.label <= second.label`).
+    pub first: Access,
+    /// Second access.
+    pub second: Access,
+}
+
+/// Collects every array access of the program.
+pub fn accesses(p: &Program) -> Vec<Access> {
+    let mut out = Vec::new();
+    p.for_each_instr(|_, i| match &i.kind {
+        InstrKind::Assign { idx, expr } => {
+            out.push(Access {
+                label: i.label,
+                index: *idx,
+                kind: AccessKind::Write,
+            });
+            if let Expr::Plus1(d) = expr {
+                out.push(Access {
+                    label: i.label,
+                    index: *d,
+                    kind: AccessKind::Read,
+                });
+            }
+        }
+        InstrKind::While { idx, .. } => {
+            out.push(Access {
+                label: i.label,
+                index: *idx,
+                kind: AccessKind::Read,
+            });
+        }
+        _ => {}
+    });
+    out
+}
+
+/// Reports all potential races of an analyzed program.
+///
+/// Soundness is inherited from the MHP analysis (Theorem 3): every real
+/// race is between instructions that truly happen in parallel, hence the
+/// pair is in `M`, hence reported here. Precision likewise: a false race
+/// requires an MHP false positive (or an infeasible same-cell path).
+pub fn detect_races(p: &Program, a: &Analysis) -> Vec<Race> {
+    let acc = accesses(p);
+    let mut out = Vec::new();
+    for (i, x) in acc.iter().enumerate() {
+        for y in acc.iter().skip(i) {
+            if x.index != y.index {
+                continue;
+            }
+            if x.kind == AccessKind::Read && y.kind == AccessKind::Read {
+                continue;
+            }
+            // Same-label pairs race only if the label self-overlaps.
+            if x.label == y.label {
+                // Skip the read/write aliasing of a single instruction
+                // with itself unless it can overlap another instance.
+                if !a.may_happen_in_parallel(x.label, y.label) {
+                    continue;
+                }
+                // A lone `a[d] = e` instance cannot race with itself; a
+                // self-MHP label means two instances, which do race.
+            } else if !a.may_happen_in_parallel(x.label, y.label) {
+                continue;
+            }
+            let (first, second) = if x.label <= y.label {
+                (*x, *y)
+            } else {
+                (*y, *x)
+            };
+            if out.iter().any(|r: &Race| {
+                r.first.label == first.label
+                    && r.second.label == second.label
+                    && r.first.index == first.index
+            }) {
+                continue;
+            }
+            out.push(Race { first, second });
+        }
+    }
+    out
+}
+
+/// Renders races with label names.
+pub fn render_races(p: &Program, races: &[Race]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} potential race(s):", races.len());
+    for r in races {
+        let _ = writeln!(
+            out,
+            "  a[{}]: {} ({:?}) × {} ({:?})",
+            r.first.index,
+            p.labels().display(r.first.label),
+            r.first.kind,
+            p.labels().display(r.second.label),
+            r.second.kind
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+
+    #[test]
+    fn parallel_writes_race() {
+        let p = Program::parse("def main() { async { a[0] = 1; } a[0] = 2; }").unwrap();
+        let races = detect_races(&p, &analyze(&p));
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].first.index, 0);
+    }
+
+    #[test]
+    fn finish_protects() {
+        let p =
+            Program::parse("def main() { finish { async { a[0] = 1; } } a[0] = 2; }").unwrap();
+        let races = detect_races(&p, &analyze(&p));
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn disjoint_cells_do_not_race() {
+        let p = Program::parse("def main() { async { a[0] = 1; } a[1] = 2; }").unwrap();
+        assert!(detect_races(&p, &analyze(&p)).is_empty());
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let p = Program::parse(
+            "def main() { async { a[1] = a[0] + 1; } a[2] = a[0] + 1; }",
+        )
+        .unwrap();
+        let races = detect_races(&p, &analyze(&p));
+        // a[0] is read by both but written by neither; a[1]/a[2] disjoint.
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn write_read_races() {
+        let p = Program::parse("def main() { async { a[0] = 1; } a[1] = a[0] + 1; }").unwrap();
+        let races = detect_races(&p, &analyze(&p));
+        assert_eq!(races.len(), 1);
+        let kinds = (races[0].first.kind, races[0].second.kind);
+        assert!(kinds.0 != kinds.1 || kinds == (AccessKind::Write, AccessKind::Write));
+    }
+
+    #[test]
+    fn loop_self_write_races_with_itself() {
+        let p = Program::parse(
+            "def main() { while (a[1] != 0) { async { a[0] = a[0] + 1; } a[1] = 0; } }",
+        )
+        .unwrap();
+        let races = detect_races(&p, &analyze(&p));
+        assert!(
+            races
+                .iter()
+                .any(|r| r.first.label == r.second.label && r.first.index == 0),
+            "self race on a[0] expected: {races:?}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_cells() {
+        let p = Program::parse("def main() { async { a[3] = 1; } a[3] = 2; }").unwrap();
+        let races = detect_races(&p, &analyze(&p));
+        let txt = render_races(&p, &races);
+        assert!(txt.contains("a[3]"), "{txt}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Async-body pair reporting (the quality metric of Figure 8).
+//!
+//! "For evaluation of the quality of our analysis, we focus on counting
+//! pairs of labels of entire async bodies" (§6). Two async bodies *may
+//! happen in parallel* when some label of one may happen in parallel with
+//! some label of the other. The paper splits the count into three
+//! exhaustive, disjoint categories:
+//!
+//! - **self** — an async body may happen in parallel with itself
+//!   (typically an async in a loop with no wrapping finish);
+//! - **same** — two different async bodies in the same method;
+//! - **diff** — two async bodies in different methods.
+//!
+//! Self-overlap is judged by diagonal pairs `(x, x) ∈ M` for a label `x`
+//! of the body: the analysis always derives diagonal pairs when two
+//! instances of a body can overlap (`Scross`/`symcross` of intersecting
+//! sets include the diagonal), whereas mere *internal* parallelism of a
+//! single instance never produces them.
+
+use crate::analysis::Analysis;
+use crate::index::{StmtId, StmtKind};
+use crate::sets::LabelSet;
+use fx10_syntax::{FuncId, Label, Program};
+
+/// One async statement in the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncSite {
+    /// The label of the `async` instruction.
+    pub label: Label,
+    /// The body statement.
+    pub body: StmtId,
+    /// Enclosing method.
+    pub method: FuncId,
+}
+
+/// The category of an async-body pair (Figure 8 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PairCategory {
+    /// A body overlapping another instance of itself.
+    SelfPair,
+    /// Two distinct bodies in the same method.
+    SameMethod,
+    /// Bodies in different methods.
+    DiffMethod,
+}
+
+/// One reported pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncPair {
+    /// First async (by instruction label).
+    pub a: Label,
+    /// Second async; equals `a` for self pairs.
+    pub b: Label,
+    /// Category.
+    pub category: PairCategory,
+}
+
+/// The Figure 8 right-hand columns for one program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsyncPairReport {
+    /// All pairs found.
+    pub pairs: Vec<AsyncPair>,
+    /// `self` column.
+    pub self_pairs: usize,
+    /// `same` column.
+    pub same_method: usize,
+    /// `diff` column.
+    pub diff_method: usize,
+}
+
+impl AsyncPairReport {
+    /// `total` column.
+    pub fn total(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// Collects every async site of the program.
+pub fn async_sites(a: &Analysis) -> Vec<AsyncSite> {
+    let idx = a.index();
+    idx.ids()
+        .filter_map(|s| {
+            let info = idx.info(s);
+            match info.kind {
+                StmtKind::Async { body } => Some(AsyncSite {
+                    label: s.label(),
+                    body,
+                    method: info.method,
+                }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Builds the async-body pair report from a solved analysis.
+pub fn async_pairs(a: &Analysis) -> AsyncPairReport {
+    let sites = async_sites(a);
+    let m = a.mhp();
+    let slab = a.slabels();
+    let body_labels: Vec<&LabelSet> = sites
+        .iter()
+        .map(|s| slab.stmt(s.body).as_ref())
+        .collect();
+
+    let mut report = AsyncPairReport::default();
+    for (i, si) in sites.iter().enumerate() {
+        // Self pair: a diagonal MHP pair on one of the body's labels.
+        if body_labels[i].iter().any(|x| m.contains(x, x)) {
+            report.pairs.push(AsyncPair {
+                a: si.label,
+                b: si.label,
+                category: PairCategory::SelfPair,
+            });
+            report.self_pairs += 1;
+        }
+        for (j, sj) in sites.iter().enumerate().skip(i + 1) {
+            let overlap = body_labels[i]
+                .iter()
+                .any(|x| m.row_intersects(x, body_labels[j]));
+            if overlap {
+                let category = if si.method == sj.method {
+                    report.same_method += 1;
+                    PairCategory::SameMethod
+                } else {
+                    report.diff_method += 1;
+                    PairCategory::DiffMethod
+                };
+                report.pairs.push(AsyncPair {
+                    a: si.label,
+                    b: sj.label,
+                    category,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Renders the report with label names, one pair per line.
+pub fn render_report(p: &Program, report: &AsyncPairReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "async-body MHP pairs: total={} self={} same={} diff={}",
+        report.total(),
+        report.self_pairs,
+        report.same_method,
+        report.diff_method
+    );
+    for pr in &report.pairs {
+        let cat = match pr.category {
+            PairCategory::SelfPair => "self",
+            PairCategory::SameMethod => "same",
+            PairCategory::DiffMethod => "diff",
+        };
+        let _ = writeln!(
+            out,
+            "  ({}, {})  [{}]",
+            p.labels().display(pr.a),
+            p.labels().display(pr.b),
+            cat
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, analyze_ci};
+    use fx10_syntax::examples;
+
+    #[test]
+    fn self_category_scenario() {
+        // §6: `while (...) { async S1 }` — S1 may overlap itself.
+        let p = examples::self_category();
+        let r = async_pairs(&analyze(&p));
+        assert_eq!(r.self_pairs, 1);
+        assert_eq!(r.same_method, 0);
+        assert_eq!(r.diff_method, 0);
+        assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn same_category_scenario() {
+        // §6: loop body asyncs with inner finishes — S1 and S2 in the
+        // same method may overlap across iterations; each inner async
+        // also self-overlaps, and the outer one does too.
+        let p = examples::same_category();
+        let r = async_pairs(&analyze(&p));
+        assert!(r.same_method >= 1, "B1/B2 cross-iteration pair expected");
+        assert!(r.self_pairs >= 1);
+        assert_eq!(r.diff_method, 0);
+    }
+
+    #[test]
+    fn diff_category_scenario() {
+        // §2.2 is the paper's own diff example: S5 (in f) overlaps S3 and
+        // S4 (in main).
+        let p = examples::example_2_2();
+        let r = async_pairs(&analyze(&p));
+        assert_eq!(r.self_pairs, 0);
+        assert_eq!(r.same_method, 0);
+        assert_eq!(r.diff_method, 2, "A5/A3 and A5/A4: {r:?}");
+    }
+
+    #[test]
+    fn straight_line_has_no_async_pairs() {
+        let p = fx10_syntax::Program::parse("def main() { finish { async { B; } } K; }").unwrap();
+        let r = async_pairs(&analyze(&p));
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn internal_parallelism_is_not_a_self_pair() {
+        // The outer async contains two overlapping inner asyncs; the
+        // outer body must NOT be counted as overlapping itself.
+        let p = fx10_syntax::Program::parse(
+            "def main() { finish { async { async { X; } Y; } } }",
+        )
+        .unwrap();
+        let r = async_pairs(&analyze(&p));
+        assert_eq!(r.self_pairs, 0, "{r:?}");
+        assert_eq!(r.same_method, 1, "outer body overlaps inner body");
+    }
+
+    #[test]
+    fn ci_reports_at_least_as_many_pairs() {
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::same_category(),
+        ] {
+            let cs = async_pairs(&analyze(&p));
+            let ci = async_pairs(&analyze_ci(&p));
+            assert!(ci.total() >= cs.total());
+        }
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let p = examples::example_2_2();
+        let r = async_pairs(&analyze(&p));
+        let txt = render_report(&p, &r);
+        assert!(txt.contains("total=2 self=0 same=0 diff=2"), "{txt}");
+        assert!(txt.contains("(A5, A3)") || txt.contains("(A3, A5)"), "{txt}");
+    }
+}

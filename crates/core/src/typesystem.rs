@@ -1,0 +1,485 @@
+//! The may-happen-in-parallel **type system** (paper §4.2, Figure 4).
+//!
+//! Judgments:
+//!
+//! ```text
+//! ⊢ p : E                 (rule 45)
+//! p, E, R ⊢ T : M         (rules 46–49)
+//! p, E, R ⊢ s : M, O      (rules 50–56)
+//! ```
+//!
+//! `E` maps each method to a summary `(M_i, O_i)`: the pairs that may
+//! happen in parallel during a call, and the labels of statements that may
+//! still be executing when the call returns. Typing is *unique* (Lemma 8):
+//! given `R` and `s`, the rules determine `M` and `O`, so we implement
+//! them as a structural computation. Rule 45 is recursive in `E`
+//! (method bodies are typed under `E` itself); [`infer_types`] finds the
+//! least `E` by fixed-point iteration, and Theorem 4 (tested in this
+//! crate and in the integration suite) says it coincides with the least
+//! constraint solution.
+//!
+//! Lone-instruction variants follow the same conventions as the
+//! [constraint generator](crate::gen).
+
+use crate::sets::{LabelSet, PairSet};
+use crate::slabels::SlabelsResult;
+use fx10_syntax::{FuncId, InstrKind, Program, Stmt};
+use fx10_semantics::Tree;
+
+/// One method's type: the pair `(M_i, O_i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSummary {
+    /// May-happen-in-parallel pairs during a call.
+    pub m: PairSet,
+    /// Labels possibly still executing when the call returns.
+    pub o: LabelSet,
+}
+
+/// A type environment `E : MethodName → (LabelPairSet × LabelSet)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeEnv {
+    methods: Vec<MethodSummary>,
+}
+
+impl TypeEnv {
+    /// Wraps per-method summaries (indexed by [`FuncId`]).
+    pub fn new(methods: Vec<MethodSummary>) -> TypeEnv {
+        TypeEnv { methods }
+    }
+
+    /// The all-empty environment (the fixed-point iteration's bottom).
+    pub fn bottom(n_labels: usize, n_methods: usize) -> TypeEnv {
+        TypeEnv {
+            methods: (0..n_methods)
+                .map(|_| MethodSummary {
+                    m: PairSet::empty(n_labels),
+                    o: LabelSet::empty(n_labels),
+                })
+                .collect(),
+        }
+    }
+
+    /// `E(f_i)`.
+    pub fn get(&self, f: FuncId) -> &MethodSummary {
+        &self.methods[f.index()]
+    }
+
+    /// Number of methods.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// True iff no methods (impossible for validated programs).
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+}
+
+/// `Slabels` of a *dynamic* statement — one produced by execution
+/// (concatenations `s_a . s_b`, unrolled loops, inlined bodies).
+///
+/// By Lemma 7.11 `Slabels(s_a . s_b) = Slabels(s_a) ∪ Slabels(s_b)`, and
+/// every dynamic statement is a concatenation of suffixes of original
+/// statements, so the set is the union over the top-level instructions of
+/// the label plus the (precomputed) `Slabels` of the instruction's nested
+/// body or callee.
+pub fn slabels_of_dyn(slab: &SlabelsResult, n_labels: usize, s: &Stmt) -> LabelSet {
+    let mut out = LabelSet::empty(n_labels);
+    for i in s.instrs() {
+        out.insert(i.label);
+        match &i.kind {
+            InstrKind::While { body, .. }
+            | InstrKind::Async { body }
+            | InstrKind::Finish { body } => {
+                out.union_with(slab.stmt(crate::index::StmtId(body.head().label.0)));
+            }
+            InstrKind::Call { callee } => {
+                out.union_with(slab.method(*callee));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Context for the typing computation.
+struct Ctx<'a> {
+    slab: &'a SlabelsResult,
+    env: &'a TypeEnv,
+    n: usize,
+}
+
+/// `p, E, R ⊢ s : M, O` (rules 50–56), computed structurally.
+pub fn type_stmt(
+    p: &Program,
+    slab: &SlabelsResult,
+    env: &TypeEnv,
+    r: &LabelSet,
+    s: &Stmt,
+) -> (PairSet, LabelSet) {
+    let ctx = Ctx {
+        slab,
+        env,
+        n: p.label_count(),
+    };
+    type_stmt_in(&ctx, r, s)
+}
+
+fn type_stmt_in(ctx: &Ctx<'_>, r: &LabelSet, s: &Stmt) -> (PairSet, LabelSet) {
+    let head = s.head();
+    let l = head.label;
+    let tail = s.tail();
+    match &head.kind {
+        // Rules (50)/(51)/(52): skip and assignment.
+        InstrKind::Skip | InstrKind::Assign { .. } => {
+            let mut m = PairSet::empty(ctx.n);
+            m.add_lcross(l, r);
+            match tail {
+                None => (m, r.clone()),
+                Some(k) => {
+                    let (mk, ok) = type_stmt_in(ctx, r, &k);
+                    let mut m = m;
+                    m.union_with(&mk);
+                    (m, ok)
+                }
+            }
+        }
+        // Rule (53): while — the body is assumed to run ≥ 2 times.
+        InstrKind::While { body, .. } => {
+            let (m1, o1) = type_stmt_in(ctx, r, body);
+            let slab_body = slabels_of_dyn(ctx.slab, ctx.n, body);
+            let mut m = PairSet::empty(ctx.n);
+            m.add_lcross(l, &o1);
+            m.add_symcross(&slab_body, &o1); // Scross_p(s1, O1)
+            m.union_with(&m1);
+            match tail {
+                None => (m, o1),
+                Some(k) => {
+                    let (m2, o2) = type_stmt_in(ctx, &o1, &k);
+                    m.union_with(&m2);
+                    (m, o2)
+                }
+            }
+        }
+        // Rule (54): async.
+        InstrKind::Async { body } => {
+            let mut m = PairSet::empty(ctx.n);
+            m.add_lcross(l, r);
+            match tail {
+                None => {
+                    let (m1, _o1) = type_stmt_in(ctx, r, body);
+                    m.union_with(&m1);
+                    let mut o = slabels_of_dyn(ctx.slab, ctx.n, body);
+                    o.union_with(r);
+                    (m, o)
+                }
+                Some(k) => {
+                    let mut r1 = slabels_of_dyn(ctx.slab, ctx.n, &k);
+                    r1.union_with(r);
+                    let (m1, _o1) = type_stmt_in(ctx, &r1, body);
+                    let mut r2 = slabels_of_dyn(ctx.slab, ctx.n, body);
+                    r2.union_with(r);
+                    let (m2, o2) = type_stmt_in(ctx, &r2, &k);
+                    m.union_with(&m1);
+                    m.union_with(&m2);
+                    (m, o2)
+                }
+            }
+        }
+        // Rule (55): finish — the body's O is discarded.
+        InstrKind::Finish { body } => {
+            let (m1, _o1) = type_stmt_in(ctx, r, body);
+            let mut m = PairSet::empty(ctx.n);
+            m.add_lcross(l, r);
+            m.union_with(&m1);
+            match tail {
+                None => (m, r.clone()),
+                Some(k) => {
+                    let (m2, o2) = type_stmt_in(ctx, r, &k);
+                    m.union_with(&m2);
+                    (m, o2)
+                }
+            }
+        }
+        // Rule (56): call.
+        InstrKind::Call { callee } => {
+            let summary = ctx.env.get(*callee);
+            let mut m = PairSet::empty(ctx.n);
+            m.add_lcross(l, r);
+            m.add_symcross(ctx.slab.method(*callee), r);
+            m.union_with(&summary.m);
+            let mut r_cont = r.clone();
+            r_cont.union_with(&summary.o);
+            match tail {
+                None => (m, r_cont),
+                Some(k) => {
+                    let (mk, ok) = type_stmt_in(ctx, &r_cont, &k);
+                    m.union_with(&mk);
+                    (m, ok)
+                }
+            }
+        }
+    }
+}
+
+/// `Tlabels_p(T)` (equations 22–25) for a dynamic tree.
+pub fn tlabels(slab: &SlabelsResult, n_labels: usize, t: &Tree) -> LabelSet {
+    match t {
+        Tree::Done => LabelSet::empty(n_labels),
+        Tree::Stm(s) => slabels_of_dyn(slab, n_labels, s),
+        Tree::Seq(a, b) | Tree::Par(a, b) => {
+            let mut out = tlabels(slab, n_labels, a);
+            out.union_with(&tlabels(slab, n_labels, b));
+            out
+        }
+    }
+}
+
+/// `p, E, R ⊢ T : M` (rules 46–49).
+pub fn type_tree(
+    p: &Program,
+    slab: &SlabelsResult,
+    env: &TypeEnv,
+    r: &LabelSet,
+    t: &Tree,
+) -> PairSet {
+    let n = p.label_count();
+    match t {
+        // Rule (49).
+        Tree::Done => PairSet::empty(n),
+        // Rule (48).
+        Tree::Stm(s) => type_stmt(p, slab, env, r, s).0,
+        // Rule (46).
+        Tree::Seq(t1, t2) => {
+            let mut m = type_tree(p, slab, env, r, t1);
+            m.union_with(&type_tree(p, slab, env, r, t2));
+            m
+        }
+        // Rule (47).
+        Tree::Par(t1, t2) => {
+            let mut r1 = tlabels(slab, n, t2);
+            r1.union_with(r);
+            let mut r2 = tlabels(slab, n, t1);
+            r2.union_with(r);
+            let mut m = type_tree(p, slab, env, &r1, t1);
+            m.union_with(&type_tree(p, slab, env, &r2, t2));
+            m
+        }
+    }
+}
+
+/// Type inference by fixed-point iteration of rule (45): the least `E`
+/// with `⊢ p : E`. Returns the environment and the number of rounds.
+pub fn infer_types(p: &Program) -> (TypeEnv, usize) {
+    let idx = crate::index::StmtIndex::build(p);
+    let slab = crate::slabels::compute_slabels(&idx, false);
+    infer_types_with(p, &slab)
+}
+
+/// As [`infer_types`] but reusing a precomputed `Slabels`.
+pub fn infer_types_with(p: &Program, slab: &SlabelsResult) -> (TypeEnv, usize) {
+    let n = p.label_count();
+    let u = p.method_count();
+    let mut env = TypeEnv::bottom(n, u);
+    let empty = LabelSet::empty(n);
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        let next: Vec<MethodSummary> = (0..u)
+            .map(|i| {
+                let f = FuncId(i as u32);
+                let (m, o) = type_stmt(p, slab, &env, &empty, p.body(f));
+                MethodSummary { m, o }
+            })
+            .collect();
+        for (old, new) in env.methods.iter().zip(next.iter()) {
+            if old != new {
+                changed = true;
+                break;
+            }
+        }
+        env = TypeEnv::new(next);
+        if !changed {
+            break;
+        }
+    }
+    (env, rounds)
+}
+
+/// Type *checking*: does `⊢ p : E` hold for the given `E` (rule 45)?
+pub fn typecheck(p: &Program, env: &TypeEnv) -> bool {
+    if env.len() != p.method_count() {
+        return false;
+    }
+    let idx = crate::index::StmtIndex::build(p);
+    let slab = crate::slabels::compute_slabels(&idx, false);
+    let empty = LabelSet::empty(p.label_count());
+    (0..p.method_count()).all(|i| {
+        let f = FuncId(i as u32);
+        let (m, o) = type_stmt(p, &slab, env, &empty, p.body(f));
+        let s = env.get(f);
+        m == s.m && o == s.o
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::index::StmtIndex;
+    use crate::slabels::compute_slabels;
+    use fx10_syntax::examples;
+    use fx10_syntax::Label;
+
+    fn setup(p: &Program) -> SlabelsResult {
+        let idx = StmtIndex::build(p);
+        compute_slabels(&idx, false)
+    }
+
+    #[test]
+    fn inference_matches_constraint_solution() {
+        // Theorem 4 (equivalence): the least type environment equals the
+        // least constraint solution's (m_i, o_i).
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::add_twice(),
+            examples::same_category(),
+            examples::self_category(),
+            examples::conclusion_false_positive(),
+        ] {
+            let (env, _) = infer_types(&p);
+            let a = analyze(&p);
+            assert_eq!(env, a.type_env(), "type/constraint mismatch");
+            assert!(typecheck(&p, &env), "inferred env must typecheck");
+        }
+    }
+
+    #[test]
+    fn typecheck_rejects_too_small_env() {
+        let p = examples::example_2_2();
+        let bottom = TypeEnv::bottom(p.label_count(), p.method_count());
+        assert!(!typecheck(&p, &bottom));
+        let wrong_len = TypeEnv::bottom(p.label_count(), 1);
+        assert!(!typecheck(&p, &wrong_len));
+    }
+
+    #[test]
+    fn principal_typing_lemma_12() {
+        // Lemma 12: p,E,R ⊢ s : M,O  iff  p,E,∅ ⊢ s : M',O' with
+        // M = Scross(s, R) ∪ M' and O = R ∪ O'.
+        let p = examples::example_2_2();
+        let slab = setup(&p);
+        let (env, _) = infer_types(&p);
+        let n = p.label_count();
+        let body = p.body(p.main());
+
+        let r = LabelSet::from_labels(n, [Label(0), Label(3)]);
+        let empty = LabelSet::empty(n);
+        let (m_r, o_r) = type_stmt(&p, &slab, &env, &r, body);
+        let (m_0, o_0) = type_stmt(&p, &slab, &env, &empty, body);
+
+        let slab_s = slabels_of_dyn(&slab, n, body);
+        let mut expect_m = crate::sets::symcross(&slab_s, &r);
+        expect_m.union_with(&m_0);
+        assert_eq!(m_r, expect_m);
+
+        let mut expect_o = r.clone();
+        expect_o.union_with(&o_0);
+        assert_eq!(o_r, expect_o);
+    }
+
+    #[test]
+    fn preservation_lemma_16_along_executions() {
+        // If p,E,∅ ⊢ T : M and T → T', then typing T' gives M' ⊆ M.
+        use fx10_semantics::step::{initial_tree, successors};
+        use fx10_semantics::ArrayState;
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::add_twice(),
+        ] {
+            let slab = setup(&p);
+            let (env, _) = infer_types(&p);
+            let empty = LabelSet::empty(p.label_count());
+            let mut frontier = vec![(ArrayState::zeros(&p), initial_tree(&p))];
+            let mut steps = 0;
+            while let Some((a, t)) = frontier.pop() {
+                if steps > 300 {
+                    break;
+                }
+                let m = type_tree(&p, &slab, &env, &empty, &t);
+                for succ in successors(&p, &a, &t) {
+                    let m2 = type_tree(&p, &slab, &env, &empty, &succ.tree);
+                    assert!(
+                        m2.is_subset(&m),
+                        "preservation violated stepping {t} → {}",
+                        succ.tree
+                    );
+                    steps += 1;
+                    frontier.push((succ.array, succ.tree));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soundness_parallel_subset_of_m_along_executions() {
+        // Theorem 2 on a breadth of reachable states (the full exhaustive
+        // check lives in the integration tests).
+        use fx10_semantics::explore::{explore, ExploreConfig};
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::same_category(),
+        ] {
+            let a = analyze(&p);
+            let e = explore(&p, &[], ExploreConfig::default());
+            for &(x, y) in &e.mhp {
+                assert!(
+                    a.may_happen_in_parallel(x, y),
+                    "dynamic pair ({}, {}) missing statically",
+                    p.labels().display(x),
+                    p.labels().display(y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_typing_rule_shapes() {
+        let p = examples::example_2_2();
+        let slab = setup(&p);
+        let (env, _) = infer_types(&p);
+        let empty = LabelSet::empty(p.label_count());
+        // Rule 49: √ has empty M.
+        assert!(type_tree(&p, &slab, &env, &empty, &Tree::Done).is_empty());
+        // Rule 46: M(T1 ▷ T2) = M(T1) ∪ M(T2) with same R.
+        let s = p.body(p.main()).clone();
+        let t1 = Tree::stm(s.clone());
+        let t2 = Tree::stm(s);
+        let seq = Tree::seq(t1.clone(), t2.clone());
+        let m1 = type_tree(&p, &slab, &env, &empty, &t1);
+        let m_seq = type_tree(&p, &slab, &env, &empty, &seq);
+        assert!(m1.is_subset(&m_seq));
+        // Rule 47: the ∥ rule crosses in the other side's Tlabels, so the
+        // Par typing strictly contains the Seq typing here.
+        let par = Tree::par(t1.clone(), t2);
+        let m_par = type_tree(&p, &slab, &env, &empty, &par);
+        assert!(m_seq.is_subset(&m_par));
+        assert!(m_seq.len() < m_par.len());
+    }
+
+    #[test]
+    fn inference_rounds_reflect_call_depth() {
+        let chain = Program::parse(
+            "def main() { f1(); }\n\
+             def f1() { f2(); }\n\
+             def f2() { async { S; } }",
+        )
+        .unwrap();
+        let (_, rounds) = infer_types(&chain);
+        assert!(rounds >= 3, "summaries must flow up the call chain");
+    }
+}

@@ -1,0 +1,175 @@
+//! Model-based property tests for the abstract domains: `LabelSet` and
+//! `PairSet` are checked against `BTreeSet` reference models, and the
+//! algebraic identities of the paper's Lemma 7 are checked directly.
+
+use fx10_core::sets::{lcross, symcross, LabelSet, PairSet};
+use fx10_syntax::Label;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const N: usize = 150; // universe spans multiple bitset words
+
+fn labels() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..N as u32, 0..20)
+}
+
+fn set_of(ls: &[u32]) -> LabelSet {
+    LabelSet::from_labels(N, ls.iter().map(|&l| Label(l)))
+}
+
+fn model_of(ls: &[u32]) -> BTreeSet<u32> {
+    ls.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn labelset_matches_btreeset_model(a in labels(), b in labels()) {
+        let (sa, sb) = (set_of(&a), set_of(&b));
+        let (ma, mb) = (model_of(&a), model_of(&b));
+
+        prop_assert_eq!(sa.len(), ma.len());
+        prop_assert_eq!(sa.is_empty(), ma.is_empty());
+        prop_assert_eq!(
+            sa.iter().map(|l| l.0).collect::<Vec<_>>(),
+            ma.iter().copied().collect::<Vec<_>>()
+        );
+        for l in 0..N as u32 {
+            prop_assert_eq!(sa.contains(Label(l)), ma.contains(&l));
+        }
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.intersects(&sb), !ma.is_disjoint(&mb));
+
+        let mut u = sa.clone();
+        let changed = u.union_with(&sb);
+        let mu: BTreeSet<u32> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(changed, mu.len() != ma.len());
+        prop_assert_eq!(u.len(), mu.len());
+        // Union is idempotent and commutative.
+        let mut u2 = u.clone();
+        prop_assert!(!u2.union_with(&sb));
+        let mut v = sb.clone();
+        v.union_with(&sa);
+        prop_assert_eq!(u, v);
+    }
+
+    #[test]
+    fn pairset_matches_model(pairs in proptest::collection::vec((0u32..N as u32, 0u32..N as u32), 0..30)) {
+        let mut s = PairSet::empty(N);
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for &(a, b) in &pairs {
+            let fresh = s.insert(Label(a), Label(b));
+            let mfresh = model.insert((a.min(b), a.max(b)));
+            prop_assert_eq!(fresh, mfresh);
+        }
+        prop_assert_eq!(s.len(), model.len());
+        prop_assert_eq!(
+            s.iter_pairs().map(|(a, b)| (a.0, b.0)).collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
+        for a in 0..N as u32 {
+            for b in 0..N as u32 {
+                let want = model.contains(&(a.min(b), a.max(b)));
+                prop_assert_eq!(s.contains(Label(a), Label(b)), want);
+            }
+        }
+    }
+
+    #[test]
+    fn pairset_union_matches_model(
+        xs in proptest::collection::vec((0u32..N as u32, 0u32..N as u32), 0..20),
+        ys in proptest::collection::vec((0u32..N as u32, 0u32..N as u32), 0..20),
+    ) {
+        let build = |ps: &[(u32, u32)]| {
+            let mut s = PairSet::empty(N);
+            for &(a, b) in ps {
+                s.insert(Label(a), Label(b));
+            }
+            s
+        };
+        let (sx, sy) = (build(&xs), build(&ys));
+        let mut u = sx.clone();
+        let changed = u.union_with(&sy);
+        prop_assert_eq!(changed, !sy.is_subset(&sx));
+        prop_assert!(sx.is_subset(&u) && sy.is_subset(&u));
+        let mut expected: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for s in [&sx, &sy] {
+            expected.extend(s.iter_pairs().map(|(a, b)| (a.0, b.0)));
+        }
+        prop_assert_eq!(u.len(), expected.len());
+        // Idempotent.
+        let mut u2 = u.clone();
+        prop_assert!(!u2.union_with(&sy));
+        prop_assert!(!u2.union_with(&sx));
+    }
+
+    #[test]
+    fn add_lcross_equals_definition(l in 0u32..N as u32, a in labels()) {
+        // Lcross(l, A) = symcross({l}, A)  (equation 38).
+        let sa = set_of(&a);
+        let direct = lcross(N, Label(l), &sa);
+        let via_symcross = symcross(&LabelSet::from_labels(N, [Label(l)]), &sa);
+        prop_assert_eq!(&direct, &via_symcross);
+        let mut incremental = PairSet::empty(N);
+        incremental.add_lcross(Label(l), &sa);
+        prop_assert_eq!(direct, incremental);
+    }
+
+    #[test]
+    fn symcross_lemma7_identities(a in labels(), b in labels(), c in labels()) {
+        let (sa, sb, sc) = (set_of(&a), set_of(&b), set_of(&c));
+        // 7.1: commutativity.
+        prop_assert_eq!(symcross(&sa, &sb), symcross(&sb, &sa));
+        // 7.2: monotonicity (take a ⊆ a ∪ c).
+        let mut big = sa.clone();
+        big.union_with(&sc);
+        prop_assert!(symcross(&sa, &sb).is_subset(&symcross(&big, &sb)));
+        // 7.3: symcross(A, C) ∪ symcross(B, C) = symcross(A ∪ B, C).
+        let mut lhs = symcross(&sa, &sc);
+        lhs.union_with(&symcross(&sb, &sc));
+        let mut ab = sa.clone();
+        ab.union_with(&sb);
+        prop_assert_eq!(lhs, symcross(&ab, &sc));
+        // Membership semantics: (x, y) ∈ symcross(A, B) iff
+        // (x∈A ∧ y∈B) ∨ (x∈B ∧ y∈A).
+        let m = symcross(&sa, &sb);
+        for x in 0..20u32 {
+            for y in 0..20u32 {
+                let (lx, ly) = (Label(x), Label(y));
+                let want = (sa.contains(lx) && sb.contains(ly))
+                    || (sb.contains(lx) && sa.contains(ly));
+                prop_assert_eq!(m.contains(lx, ly), want);
+            }
+        }
+    }
+
+    #[test]
+    fn add_symcross_is_incremental_union(a in labels(), b in labels(), c in labels(), d in labels()) {
+        // Applying two symcrosses incrementally equals building each and
+        // unioning.
+        let (sa, sb, sc, sd) = (set_of(&a), set_of(&b), set_of(&c), set_of(&d));
+        let mut inc = PairSet::empty(N);
+        inc.add_symcross(&sa, &sb);
+        inc.add_symcross(&sc, &sd);
+        let mut whole = symcross(&sa, &sb);
+        whole.union_with(&symcross(&sc, &sd));
+        prop_assert_eq!(inc, whole);
+    }
+
+    #[test]
+    fn partners_and_row_intersects_agree(
+        pairs in proptest::collection::vec((0u32..N as u32, 0u32..N as u32), 0..25),
+        probe in 0u32..N as u32,
+        set in labels(),
+    ) {
+        let mut s = PairSet::empty(N);
+        for &(a, b) in &pairs {
+            s.insert(Label(a), Label(b));
+        }
+        let row = s.partners(Label(probe));
+        let q = set_of(&set);
+        prop_assert_eq!(s.row_intersects(Label(probe), &q), row.intersects(&q));
+        for l in row.iter() {
+            prop_assert!(s.contains(Label(probe), l));
+        }
+    }
+}

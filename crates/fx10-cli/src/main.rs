@@ -1,0 +1,382 @@
+//! `fx10` — command-line driver for the FX10 calculus and its MHP
+//! analysis.
+//!
+//! ```text
+//! fx10 parse   <file.fx10>                    check & pretty-print
+//! fx10 run     <file.fx10> [--sched S] [--input v,v,...] [--steps N]
+//! fx10 explore <file.fx10> [--max-states N]   exhaustive dynamic MHP
+//! fx10 mhp     <file.fx10> [--ci]             static MHP pairs
+//! fx10 race    <file.fx10>                    MHP-based race report
+//! fx10 check   <file.fx10>                    soundness: dynamic ⊆ static
+//! fx10 x10     <file.x10>  [--ci]             X10-Lite condensed analysis
+//! fx10 bench   <name|all>                     run a suite benchmark
+//! ```
+
+use fx10_core::analyze;
+use fx10_semantics::{explore, run, ExploreConfig, Scheduler};
+use fx10_syntax::Program;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fx10 <parse|run|explore|mhp|race|check|x10|bench> <file|name> [options]\n\
+         options:\n\
+           --sched <leftmost|rightmost|random[:seed]>   scheduler (run)\n\
+           --input v,v,...                              initial array (run/explore)\n\
+           --steps N                                    step budget (run)\n\
+           --max-states N                               exploration cap\n\
+           --ci                                         context-insensitive analysis\n\
+           --solver <naive|worklist|scc|scc-par>        fixed-point algorithm\n\
+           --places                                     same-place MHP refinement (x10)"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    sched: Scheduler,
+    input: Vec<i64>,
+    steps: u64,
+    max_states: usize,
+    ci: bool,
+    solver: fx10_core::analysis::SolverKind,
+    places: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        sched: Scheduler::Leftmost,
+        input: vec![],
+        steps: 1_000_000,
+        max_states: 200_000,
+        ci: false,
+        solver: fx10_core::analysis::SolverKind::Naive,
+        places: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sched" => {
+                i += 1;
+                let v = args.get(i).ok_or("--sched needs a value")?;
+                o.sched = match v.split(':').collect::<Vec<_>>().as_slice() {
+                    ["leftmost"] => Scheduler::Leftmost,
+                    ["rightmost"] => Scheduler::Rightmost,
+                    ["random"] => Scheduler::Random(0xf10),
+                    ["random", seed] => {
+                        Scheduler::Random(seed.parse().map_err(|_| "bad seed")?)
+                    }
+                    _ => return Err(format!("unknown scheduler `{v}`")),
+                };
+            }
+            "--input" => {
+                i += 1;
+                let v = args.get(i).ok_or("--input needs a value")?;
+                o.input = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad input `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--steps" => {
+                i += 1;
+                o.steps = args
+                    .get(i)
+                    .ok_or("--steps needs a value")?
+                    .parse()
+                    .map_err(|_| "bad step count")?;
+            }
+            "--max-states" => {
+                i += 1;
+                o.max_states = args
+                    .get(i)
+                    .ok_or("--max-states needs a value")?
+                    .parse()
+                    .map_err(|_| "bad state count")?;
+            }
+            "--ci" => o.ci = true,
+            "--places" => o.places = true,
+            "--solver" => {
+                i += 1;
+                let v = args.get(i).ok_or("--solver needs a value")?;
+                o.solver = match v.as_str() {
+                    "naive" => fx10_core::analysis::SolverKind::Naive,
+                    "worklist" => fx10_core::analysis::SolverKind::Worklist,
+                    "scc" => fx10_core::analysis::SolverKind::Scc,
+                    "scc-par" => fx10_core::analysis::SolverKind::SccParallel(
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(4),
+                    ),
+                    other => return Err(format!("unknown solver `{other}`")),
+                };
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Program::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    let (target, optargs) = match rest.split_first() {
+        Some((t, o)) => (t.as_str(), o),
+        None => return usage(),
+    };
+    let opts = match parse_opts(optargs) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    let result = (|| -> Result<(), String> {
+        match cmd {
+            "parse" => {
+                let p = load(target)?;
+                println!(
+                    "{} method(s), {} instruction(s), array length {}",
+                    p.method_count(),
+                    p.label_count(),
+                    p.array_len()
+                );
+                print!("{}", fx10_syntax::pretty::program(&p));
+            }
+            "run" => {
+                let p = load(target)?;
+                let out = run(&p, &opts.input, opts.sched, opts.steps);
+                if out.completed {
+                    println!("completed in {} steps", out.steps);
+                } else {
+                    println!("step budget ({}) exhausted", opts.steps);
+                }
+                println!("a = {:?}", out.array.cells());
+                println!("result a[0] = {}", out.array.result());
+            }
+            "explore" => {
+                let p = load(target)?;
+                let e = explore(
+                    &p,
+                    &opts.input,
+                    ExploreConfig {
+                        max_states: opts.max_states,
+                        ..ExploreConfig::default()
+                    },
+                );
+                println!(
+                    "{} state(s) visited{}, {} terminal(s), deadlock-free: {}",
+                    e.visited,
+                    if e.truncated { " (truncated)" } else { "" },
+                    e.terminals,
+                    e.deadlock_free
+                );
+                println!("dynamic MHP pairs ({}):", e.mhp.len());
+                for &(a, b) in &e.mhp {
+                    println!(
+                        "  ({}, {})",
+                        p.labels().display(a),
+                        p.labels().display(b)
+                    );
+                }
+            }
+            "mhp" => {
+                let p = load(target)?;
+                let mode = if opts.ci {
+                    fx10_core::Mode::ContextInsensitive { keep_scross: true }
+                } else {
+                    fx10_core::Mode::ContextSensitive
+                };
+                let a = fx10_core::analyze_with(&p, mode, opts.solver);
+                println!(
+                    "{} analysis: {} constraint(s), iterations S/1/2 = {}/{}/{}",
+                    if opts.ci {
+                        "context-insensitive"
+                    } else {
+                        "context-sensitive"
+                    },
+                    a.stats.slabels_constraints
+                        + a.stats.level1_constraints
+                        + a.stats.level2_constraints,
+                    a.stats.slabels_passes,
+                    a.stats.level1_passes,
+                    a.stats.level2_passes
+                );
+                let pairs = a.pairs_named(&p);
+                println!("MHP pairs ({}):", pairs.len());
+                for (x, y) in pairs {
+                    println!("  ({x}, {y})");
+                }
+                let rep = fx10_core::report::async_pairs(&a);
+                print!("{}", fx10_core::report::render_report(&p, &rep));
+            }
+            "race" => {
+                let p = load(target)?;
+                let a = analyze(&p);
+                let races = fx10_core::race::detect_races(&p, &a);
+                print!("{}", fx10_core::race::render_races(&p, &races));
+            }
+            "check" => {
+                let p = load(target)?;
+                let a = analyze(&p);
+                let e = explore(
+                    &p,
+                    &opts.input,
+                    ExploreConfig {
+                        max_states: opts.max_states,
+                        ..ExploreConfig::default()
+                    },
+                );
+                let mut missing = 0usize;
+                for &(x, y) in &e.mhp {
+                    if !a.may_happen_in_parallel(x, y) {
+                        missing += 1;
+                        println!(
+                            "UNSOUND: dynamic pair ({}, {}) not in static MHP",
+                            p.labels().display(x),
+                            p.labels().display(y)
+                        );
+                    }
+                }
+                let static_n = a.mhp().len();
+                println!(
+                    "dynamic pairs: {} ({} states{}), static pairs: {}, deadlock-free: {}",
+                    e.mhp.len(),
+                    e.visited,
+                    if e.truncated { ", truncated" } else { "" },
+                    static_n,
+                    e.deadlock_free
+                );
+                if missing == 0 {
+                    println!("soundness check PASSED (dynamic ⊆ static)");
+                } else {
+                    return Err(format!("{missing} dynamic pair(s) missing statically"));
+                }
+                // The §8 precision probe: the static overapproximation
+                // minus the dynamic underapproximation bounds the false
+                // positives. Exact when the exploration completed.
+                let gap: Vec<(String, String)> = a
+                    .mhp()
+                    .iter_pairs()
+                    .filter(|&(x, y)| !e.mhp.contains(&(x.min(y), x.max(y))))
+                    .map(|(x, y)| (p.labels().display(x), p.labels().display(y)))
+                    .collect();
+                if gap.is_empty() {
+                    println!(
+                        "precision: static == dynamic — zero false positives{}",
+                        if e.truncated { " (on the explored prefix)" } else { "" }
+                    );
+                } else {
+                    println!(
+                        "precision gap ({} pair(s) static-only{}):",
+                        gap.len(),
+                        if e.truncated {
+                            " — upper bound, exploration truncated"
+                        } else {
+                            " — exact false positives"
+                        }
+                    );
+                    for (x, y) in gap {
+                        println!("  ({x}, {y})");
+                    }
+                }
+            }
+            "x10" => {
+                let src =
+                    std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
+                let p = fx10_frontend::parse(&src).map_err(|e| format!("{target}: {e}"))?;
+                let mode = if opts.ci {
+                    fx10_core::Mode::ContextInsensitive { keep_scross: true }
+                } else {
+                    fx10_core::Mode::ContextSensitive
+                };
+                let a = fx10_frontend::analyze_condensed(&p, mode, opts.solver);
+                let c = p.node_counts();
+                println!(
+                    "{} nodes ({} methods), asyncs: {:?}",
+                    c.total(),
+                    c.method,
+                    p.async_stats()
+                );
+                println!(
+                    "constraints S/1/2 = {}/{}/{}, iterations = {}/{}/{}, {:.1} ms",
+                    a.stats.slabels_constraints,
+                    a.stats.level1_constraints,
+                    a.stats.level2_constraints,
+                    a.stats.slabels_passes,
+                    a.stats.level1_passes,
+                    a.stats.level2_passes,
+                    a.stats.millis
+                );
+                let rep = fx10_frontend::async_pairs_condensed(&a);
+                println!(
+                    "async-body MHP pairs: total={} self={} same={} diff={}",
+                    rep.total(),
+                    rep.self_pairs,
+                    rep.same_method,
+                    rep.diff_method
+                );
+                if opts.places {
+                    let places = fx10_frontend::PlaceAssignment::compute(&p);
+                    let refined = fx10_frontend::same_place_pairs(&a, &places);
+                    println!(
+                        "places refinement: {} abstract place(s); {} of {} MHP pairs may contend at one place",
+                        places.place_count(),
+                        refined.len(),
+                        a.mhp().len()
+                    );
+                }
+            }
+            "bench" => {
+                let names: Vec<&str> = if target == "all" {
+                    fx10_suite::SPECS.iter().map(|s| s.name).collect()
+                } else {
+                    vec![target]
+                };
+                for name in names {
+                    let bm = fx10_suite::benchmark(name)
+                        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+                    let mode = if opts.ci {
+                        fx10_core::Mode::ContextInsensitive { keep_scross: true }
+                    } else {
+                        fx10_core::Mode::ContextSensitive
+                    };
+                    let a = fx10_frontend::analyze_condensed(&bm.program, mode, opts.solver);
+                    let rep = fx10_frontend::async_pairs_condensed(&a);
+                    println!(
+                        "{:<12} {:>8.1} ms  {:>7.2} MB  iters {}/{}/{}  pairs {}/{}/{}/{}",
+                        name,
+                        a.stats.millis,
+                        a.stats.bytes as f64 / 1e6,
+                        a.stats.slabels_passes,
+                        a.stats.level1_passes,
+                        a.stats.level2_passes,
+                        rep.total(),
+                        rep.self_pairs,
+                        rep.same_method,
+                        rep.diff_method
+                    );
+                }
+            }
+            _ => return Err(format!("unknown command `{cmd}`")),
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

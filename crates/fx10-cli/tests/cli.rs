@@ -1,0 +1,148 @@
+//! End-to-end tests of the `fx10` binary on the sample programs in
+//! `programs/`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn fx10(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fx10"))
+        .current_dir(repo_root())
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn parse_pretty_prints() {
+    let out = fx10(&["parse", "programs/example22.fx10"]);
+    assert!(out.status.success(), "{out:?}");
+    let s = stdout(&out);
+    assert!(s.contains("2 method(s), 10 instruction(s)"), "{s}");
+    assert!(s.contains("def main() {"), "{s}");
+}
+
+#[test]
+fn run_fork_join_is_deterministic() {
+    for sched in ["leftmost", "rightmost", "random:3"] {
+        let out = fx10(&["run", "programs/fork_join.fx10", "--sched", sched]);
+        assert!(out.status.success());
+        let s = stdout(&out);
+        assert!(s.contains("completed"), "{s}");
+        assert!(s.contains("a = [4, 1]"), "{sched}: {s}");
+    }
+}
+
+#[test]
+fn mhp_reports_pairs_and_categories() {
+    let out = fx10(&["mhp", "programs/example22.fx10"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("(S3, S5)"), "{s}");
+    assert!(!s.contains("(S3, S4)"), "CS must not report the false positive: {s}");
+    assert!(s.contains("total=2 self=0 same=0 diff=2"), "{s}");
+}
+
+#[test]
+fn mhp_ci_adds_the_false_positive() {
+    let out = fx10(&["mhp", "programs/example22.fx10", "--ci"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("(S3, S4)"), "{s}");
+}
+
+#[test]
+fn race_finds_the_bug() {
+    let out = fx10(&["race", "programs/racey.fx10"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("1 potential race(s)"), "{s}");
+    assert!(s.contains("a[0]"), "{s}");
+}
+
+#[test]
+fn check_passes_with_zero_false_positives() {
+    let out = fx10(&["check", "programs/example22.fx10"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("soundness check PASSED"), "{s}");
+    assert!(s.contains("zero false positives"), "{s}");
+}
+
+#[test]
+fn explore_reports_deadlock_freedom() {
+    let out = fx10(&["explore", "programs/fork_join.fx10"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("deadlock-free: true"), "{s}");
+}
+
+#[test]
+fn x10_frontend_analyzes_stencil() {
+    let out = fx10(&["x10", "programs/stencil.x10"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("async-body MHP pairs"), "{s}");
+    assert!(s.contains("loop_asyncs: 2"), "{s}");
+}
+
+#[test]
+fn bench_runs_a_named_benchmark() {
+    let out = fx10(&["bench", "mapreduce"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("mapreduce"), "{s}");
+    assert!(s.contains("pairs 1/1/0/0"), "{s}");
+}
+
+#[test]
+fn solver_variants_agree_via_cli() {
+    let mut outputs = Vec::new();
+    for solver in ["naive", "worklist", "scc", "scc-par"] {
+        let out = fx10(&["mhp", "programs/example22.fx10", "--solver", solver]);
+        assert!(out.status.success(), "{solver}: {out:?}");
+        // Compare only the pair lines (timings differ).
+        let pairs: Vec<String> = stdout(&out)
+            .lines()
+            .filter(|l| l.trim_start().starts_with('('))
+            .map(|l| l.to_string())
+            .collect();
+        outputs.push(pairs);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn places_flag_reports_refinement() {
+    let out = fx10(&["x10", "programs/stencil.x10", "--places"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("places refinement:"), "{s}");
+    assert!(s.contains("abstract place(s)"), "{s}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!fx10(&[]).status.success());
+    assert!(!fx10(&["mhp"]).status.success());
+    assert!(!fx10(&["mhp", "programs/example22.fx10", "--bogus"])
+        .status
+        .success());
+    assert!(!fx10(&["frobnicate", "x"]).status.success());
+    assert!(!fx10(&["mhp", "no/such/file.fx10"]).status.success());
+    assert!(!fx10(&["mhp", "programs/example22.fx10", "--solver", "magic"])
+        .status
+        .success());
+}

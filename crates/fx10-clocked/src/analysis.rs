@@ -1,0 +1,269 @@
+//! Static MHP for CFX10 with the phase refinement.
+//!
+//! Two layers:
+//!
+//! 1. **Base analysis** — the paper's async rules transplanted: `casync`
+//!    is analyzed exactly like `async` (rule 54) and `next` like `skip`
+//!    (rule 50/51). Sound but barrier-blind.
+//! 2. **Phase refinement** — in CFX10 (no loops, no calls) every label
+//!    executes at most once, and a label of an *always-registered*
+//!    activity executes at exactly one clock phase, computable
+//!    syntactically: the number of `next`s its activity performs before
+//!    it. If `phase(x) ≠ phase(y)` (both defined), the barrier orders
+//!    them: for `y` to run, every registered activity — including `x`'s —
+//!    must have passed the intervening barriers, and `x` precedes its own
+//!    activity's barrier calls. Hence the pair is subtracted.
+//!
+//! Labels inside unregistered activities (plain `async` bodies) have no
+//! phase (`None`) and are never refined away. Property tests check the
+//! refined set against the exhaustive explorer's ground truth — both
+//! soundness and the paper-style "zero false positives" on the phase
+//! structure.
+
+use crate::ast::{CInstr, CKind, CProgram, CStmt};
+use fx10_core::sets::{LabelSet, PairSet};
+use fx10_syntax::Label;
+
+/// The clock phase at which a label executes, if statically bound.
+pub type Phase = Option<u32>;
+
+/// The solved clocked analysis.
+#[derive(Debug, Clone)]
+pub struct ClockedAnalysis {
+    /// The barrier-blind MHP over-approximation.
+    pub base: PairSet,
+    /// The phase-refined MHP (the deliverable).
+    pub refined: PairSet,
+    /// Per-label phase (`None` = phase-unbound).
+    pub phases: Vec<Phase>,
+}
+
+impl ClockedAnalysis {
+    /// May `a` and `b` happen in parallel (refined)?
+    pub fn may_happen_in_parallel(&self, a: Label, b: Label) -> bool {
+        self.refined.contains(a, b)
+    }
+}
+
+/// All labels of a statement (the CFX10 `Slabels` — no calls, so a plain
+/// recursive collection).
+fn labels_of(s: &CStmt, n: usize) -> LabelSet {
+    fn walk(s: &CStmt, out: &mut LabelSet) {
+        for i in s.instrs() {
+            out.insert(i.label);
+            match &i.kind {
+                CKind::Async(b) | CKind::CAsync(b) => walk(b, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = LabelSet::empty(n);
+    walk(s, &mut out);
+    out
+}
+
+/// The base analysis: rules 50/51/54 with `next` as `skip` and `casync`
+/// as `async`. Returns `(M, O)`.
+fn analyze_stmt(s: &CStmt, r: &LabelSet, n: usize, m: &mut PairSet) -> LabelSet {
+    let head: &CInstr = s.head();
+    let l = head.label;
+    let tail = s.tail();
+    match &head.kind {
+        CKind::Skip | CKind::Next => {
+            m.add_lcross(l, r);
+            match tail {
+                None => r.clone(),
+                Some(t) => analyze_stmt(&t, r, n, m),
+            }
+        }
+        CKind::Async(body) | CKind::CAsync(body) => {
+            m.add_lcross(l, r);
+            match tail {
+                None => {
+                    let _ = analyze_stmt(body, r, n, m);
+                    let mut o = labels_of(body, n);
+                    o.union_with(r);
+                    o
+                }
+                Some(t) => {
+                    let mut r_body = labels_of(&t, n);
+                    r_body.union_with(r);
+                    let _ = analyze_stmt(body, &r_body, n, m);
+                    let mut r_tail = labels_of(body, n);
+                    r_tail.union_with(r);
+                    analyze_stmt(&t, &r_tail, n, m)
+                }
+            }
+        }
+    }
+}
+
+/// Computes per-label phases. Returns the phase after the statement (for
+/// threading through sequences).
+fn assign_phases(s: &CStmt, registered: bool, mut phase: u32, out: &mut Vec<Phase>) -> u32 {
+    for i in s.instrs() {
+        out[i.label.index()] = if registered { Some(phase) } else { None };
+        match &i.kind {
+            CKind::Skip => {}
+            CKind::Next => {
+                if registered {
+                    phase += 1;
+                }
+            }
+            CKind::Async(b) => {
+                // Unregistered child: phase-unbound.
+                assign_phases(b, false, 0, out);
+            }
+            CKind::CAsync(b) => {
+                // Registered child starts at the parent's current phase;
+                // its own barriers advance it independently.
+                assign_phases(b, registered, phase, out);
+            }
+        }
+    }
+    phase
+}
+
+/// `phase_of(p)[l]`: the phase at which label `l` executes, or `None`.
+pub fn phase_of(p: &CProgram) -> Vec<Phase> {
+    let mut out = vec![None; p.label_count()];
+    assign_phases(p.body(), true, 0, &mut out);
+    out
+}
+
+/// Runs the clocked analysis: base MHP then the phase refinement.
+pub fn clocked_mhp(p: &CProgram) -> ClockedAnalysis {
+    let n = p.label_count();
+    let mut base = PairSet::empty(n);
+    let empty = LabelSet::empty(n);
+    let _ = analyze_stmt(p.body(), &empty, n, &mut base);
+
+    let phases = phase_of(p);
+    let mut refined = PairSet::empty(n);
+    for (a, b) in base.iter_pairs() {
+        match (phases[a.index()], phases[b.index()]) {
+            (Some(pa), Some(pb)) if pa != pb => {} // barrier-ordered
+            _ => {
+                refined.insert(a, b);
+            }
+        }
+    }
+    ClockedAnalysis {
+        base,
+        refined,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{async_, casync, next, skip, CProgram, Node};
+    use crate::semantics::explore_clocked;
+    use proptest::prelude::*;
+
+    #[test]
+    fn phases_are_assigned_per_activity() {
+        let p = CProgram::new(vec![
+            casync(vec![skip(), next(), skip()]), // 0; 1@0; 2@0; 3@1
+            skip(),                               // 4@0
+            next(),                               // 5@0
+            skip(),                               // 6@1
+            async_(vec![skip()]),                 // 7@1; 8@None
+        ]);
+        let ph = phase_of(&p);
+        assert_eq!(ph[1], Some(0));
+        assert_eq!(ph[3], Some(1));
+        assert_eq!(ph[4], Some(0));
+        assert_eq!(ph[6], Some(1));
+        assert_eq!(ph[7], Some(1));
+        assert_eq!(ph[8], None, "plain async bodies are phase-unbound");
+    }
+
+    #[test]
+    fn refinement_matches_ground_truth_on_the_barrier_example() {
+        let p = CProgram::new(vec![
+            casync(vec![skip(), next(), skip()]), // 1: A, 3: B
+            skip(),                               // 4: X
+            next(),
+            skip(), // 6: Y
+        ]);
+        let a = clocked_mhp(&p);
+        let e = explore_clocked(&p, 200_000);
+        assert!(!e.truncated && e.deadlock_free);
+        // Sound: every dynamic pair is in the refined set.
+        for &(x, y) in &e.mhp {
+            assert!(a.refined.contains(x, y), "missing ({x:?},{y:?})");
+        }
+        // The refinement actually removed the barrier-blind pairs.
+        let (la, ly) = (Label(1), Label(6));
+        assert!(a.base.contains(la, ly), "base is barrier-blind");
+        assert!(!a.refined.contains(la, ly), "refined knows the barrier");
+    }
+
+    fn node_strategy(depth: u32) -> impl Strategy<Value = Node> {
+        let leaf = prop_oneof![3 => Just(skip()), 2 => Just(next())];
+        leaf.prop_recursive(depth, 16, 3, |inner| {
+            let body = proptest::collection::vec(inner, 0..3);
+            prop_oneof![
+                body.clone().prop_map(async_),
+                body.prop_map(casync),
+            ]
+        })
+    }
+
+    fn program_strategy() -> impl Strategy<Value = CProgram> {
+        proptest::collection::vec(node_strategy(3), 1..6).prop_map(CProgram::new)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Soundness: dynamic MHP ⊆ refined ⊆ base, and clocked
+        /// deadlock freedom, on random clocked programs.
+        #[test]
+        fn refined_analysis_is_sound(p in program_strategy()) {
+            let e = explore_clocked(&p, 50_000);
+            prop_assert!(e.deadlock_free, "clocked Theorem 1");
+            let a = clocked_mhp(&p);
+            prop_assert!(a.refined.is_subset(&a.base));
+            for &(x, y) in &e.mhp {
+                prop_assert!(
+                    a.refined.contains(x, y),
+                    "dynamic pair ({x:?},{y:?}) missing in {:?}",
+                    p
+                );
+            }
+        }
+
+        /// Precision of the phase structure: without plain asyncs (every
+        /// spawn clocked) and with complete exploration, the refined
+        /// analysis has zero false positives — phases fully determine
+        /// overlap in loop-free clocked programs.
+        #[test]
+        fn refinement_is_exact_on_fully_clocked_programs(
+            raw in proptest::collection::vec(
+                prop_oneof![
+                    Just(skip()),
+                    Just(next()),
+                    proptest::collection::vec(
+                        prop_oneof![Just(skip()), Just(next())], 0..3
+                    ).prop_map(casync),
+                ],
+                1..6,
+            )
+        ) {
+            let p = CProgram::new(raw);
+            let e = explore_clocked(&p, 50_000);
+            prop_assume!(!e.truncated);
+            let a = clocked_mhp(&p);
+            for (x, y) in a.refined.iter_pairs() {
+                prop_assert!(
+                    e.mhp.contains(&(x.min(y), x.max(y))),
+                    "false positive ({x:?},{y:?}) in {:?}",
+                    p
+                );
+            }
+        }
+    }
+}

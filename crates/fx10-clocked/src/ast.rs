@@ -1,0 +1,173 @@
+//! The CFX10 abstract syntax: one main statement, dense labels.
+
+use fx10_syntax::Label;
+
+/// One clocked-calculus instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CInstr {
+    /// Dense program-unique label.
+    pub label: Label,
+    /// The instruction.
+    pub kind: CKind,
+}
+
+/// The four instruction forms of CFX10.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CKind {
+    /// `skip^l` — an opaque step.
+    Skip,
+    /// `async^l s` — spawn `s`, not registered on the clock.
+    Async(CStmt),
+    /// `casync^l s` — spawn `s`, registered at the parent's phase.
+    CAsync(CStmt),
+    /// `next^l` — the clock barrier.
+    Next,
+}
+
+/// A non-empty instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CStmt {
+    instrs: Vec<CInstr>,
+}
+
+impl CStmt {
+    /// The instructions (never empty).
+    pub fn instrs(&self) -> &[CInstr] {
+        &self.instrs
+    }
+
+    /// The head instruction.
+    pub fn head(&self) -> &CInstr {
+        &self.instrs[0]
+    }
+
+    /// The continuation after the head, if any.
+    pub fn tail(&self) -> Option<CStmt> {
+        if self.instrs.len() > 1 {
+            Some(CStmt {
+                instrs: self.instrs[1..].to_vec(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// A CFX10 program: the main activity's body, labels pre-assigned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CProgram {
+    body: CStmt,
+    label_count: usize,
+}
+
+/// Unlabeled builder nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// `skip;`
+    Skip,
+    /// `async { … }`
+    Async(Vec<Node>),
+    /// `casync { … }` (clocked)
+    CAsync(Vec<Node>),
+    /// `next;`
+    Next,
+}
+
+impl CProgram {
+    /// Assembles and labels a program; empty bodies become a `skip`.
+    pub fn new(body: Vec<Node>) -> CProgram {
+        fn lower(nodes: Vec<Node>, next: &mut u32) -> CStmt {
+            let nodes = if nodes.is_empty() {
+                vec![Node::Skip]
+            } else {
+                nodes
+            };
+            let instrs = nodes
+                .into_iter()
+                .map(|n| {
+                    let label = Label(*next);
+                    *next += 1;
+                    let kind = match n {
+                        Node::Skip => CKind::Skip,
+                        Node::Next => CKind::Next,
+                        Node::Async(b) => CKind::Async(lower(b, next)),
+                        Node::CAsync(b) => CKind::CAsync(lower(b, next)),
+                    };
+                    CInstr { label, kind }
+                })
+                .collect();
+            CStmt { instrs }
+        }
+        let mut next = 0u32;
+        let body = lower(body, &mut next);
+        CProgram {
+            body,
+            label_count: next as usize,
+        }
+    }
+
+    /// The main activity's statement.
+    pub fn body(&self) -> &CStmt {
+        &self.body
+    }
+
+    /// Total labels.
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+}
+
+/// `skip;`
+pub fn skip() -> Node {
+    Node::Skip
+}
+
+/// `next;`
+pub fn next() -> Node {
+    Node::Next
+}
+
+/// `async { body }`
+pub fn async_(body: Vec<Node>) -> Node {
+    Node::Async(body)
+}
+
+/// `casync { body }`
+pub fn casync(body: Vec<Node>) -> Node {
+    Node::CAsync(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_dense() {
+        let p = CProgram::new(vec![
+            casync(vec![skip(), next(), skip()]),
+            next(),
+            async_(vec![skip()]),
+            skip(),
+        ]);
+        assert_eq!(p.label_count(), 8);
+        fn collect(s: &CStmt, out: &mut Vec<u32>) {
+            for i in s.instrs() {
+                out.push(i.label.0);
+                match &i.kind {
+                    CKind::Async(b) | CKind::CAsync(b) => collect(b, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut seen = Vec::new();
+        collect(p.body(), &mut seen);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_bodies_become_skip() {
+        let p = CProgram::new(vec![async_(vec![])]);
+        assert_eq!(p.label_count(), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! # fx10-clocked
+//!
+//! The paper's *other* §8 future-work item, implemented: "a worthwhile
+//! extension of our calculus would be to model the X10 notion of clocks."
+//!
+//! **CFX10** is a minimal clocked calculus: FX10's spawning skeleton plus
+//! one program-wide clock.
+//!
+//! ```text
+//! s ::= i | i s
+//! i ::= skip^l
+//!     | async^l s        — spawn, NOT registered on the clock
+//!     | casync^l s       — "clocked async": spawn registered at the
+//!                           parent's current phase
+//!     | next^l           — barrier: wait for every registered activity
+//! ```
+//!
+//! The main activity is registered. `next` blocks until *every* live
+//! registered activity is blocked at a `next`, then all advance one
+//! phase; termination deregisters. An unregistered activity's `next` is
+//! a no-op (X10 would throw; a no-op keeps the calculus total and the
+//! deadlock-freedom theorem intact — both choices are conservative for
+//! MHP). X10 forbids clocks from crossing `finish`, so CFX10 simply
+//! omits `finish`: the interesting new synchronization is the barrier.
+//!
+//! The crate mirrors the repository's methodology at small scale:
+//!
+//! - [`semantics`] — configurations, steps, exhaustive exploration with
+//!   dynamic (ground-truth) MHP and a clocked deadlock-freedom check;
+//! - [`analysis`] — a structural MHP analysis (the paper's async rules,
+//!   with `casync` as `async` and `next` as `skip`) **plus the phase
+//!   refinement**: statements of always-registered activities carry an
+//!   exact phase index, and pairs with different phases are provably
+//!   ordered by the barrier, so they are subtracted;
+//! - property tests pitting the refined analysis against the exhaustive
+//!   explorer on random clocked programs.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+pub mod semantics;
+
+pub use analysis::{clocked_mhp, phase_of, ClockedAnalysis, Phase};
+pub use ast::{CInstr, CKind, CProgram, CStmt};
+pub use semantics::{explore_clocked, ClockedExploration};

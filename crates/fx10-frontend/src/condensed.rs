@@ -1,0 +1,512 @@
+//! The condensed intermediate form (paper §6, Figure 7).
+//!
+//! "Our implementation of type inference for X10 first translates an X10
+//! program to a condensed form that closely resembles FX10 ... The
+//! condensed form has ten kinds of nodes, namely end, async, call, finish,
+//! if, loop, method, return, skip, and switch."
+//!
+//! - `skip` nodes "are all the various statements and expressions that
+//!   don't affect the analysis" — opaque blocks of computation;
+//! - `end` nodes "do not correspond to any program point in the code, but
+//!   act as place holders for our constraint system";
+//! - `switch` nodes "accommodate various control-flow statements";
+//! - place-switching asyncs (`async at(p)`) are "handled ... in exactly
+//!   the same way as the asyncs in FX10";
+//! - `foreach`/`ateach` are "plain loops where the body is wrapped in an
+//!   async".
+//!
+//! Every node carries a dense label assigned at [`CProgram::new`] time,
+//! exactly like FX10 instructions, so the analysis crates' bitset domains
+//! apply unchanged.
+
+use fx10_syntax::Label;
+
+/// A method id in a condensed program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CFuncId(pub u32);
+
+impl CFuncId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The payload of one condensed node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CNodeKind {
+    /// A constraint-system placeholder (no program point).
+    End,
+    /// An opaque block of analysis-irrelevant code.
+    Skip,
+    /// `async { body }`; `place_switch` marks the `async at(p)` form.
+    Async {
+        /// The spawned block.
+        body: CBlock,
+        /// True for the `async at(p)` form.
+        place_switch: bool,
+    },
+    /// A call to another method.
+    Call {
+        /// The called method.
+        callee: CFuncId,
+    },
+    /// `finish { body }`.
+    Finish {
+        /// The awaited block.
+        body: CBlock,
+    },
+    /// Two-way branch; a missing `else` is an empty block.
+    If {
+        /// The then branch.
+        then_: CBlock,
+        /// The else branch (possibly empty).
+        else_: CBlock,
+    },
+    /// Any loop (`while`, `for`, and the loop part of `foreach`/`ateach`).
+    Loop {
+        /// The loop body.
+        body: CBlock,
+    },
+    /// Early method exit.
+    Return,
+    /// N-way branch.
+    Switch {
+        /// The case blocks.
+        cases: Vec<CBlock>,
+    },
+}
+
+/// One labeled condensed node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CNode {
+    /// Dense program-unique label.
+    pub label: Label,
+    /// The node proper.
+    pub kind: CNodeKind,
+}
+
+/// A (possibly empty) sequence of nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CBlock {
+    /// The nodes, in order.
+    pub nodes: Vec<CNode>,
+}
+
+/// One condensed method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CMethod {
+    /// Source name.
+    pub name: String,
+    /// Body block.
+    pub body: CBlock,
+}
+
+/// A condensed program with dense node labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CProgram {
+    methods: Vec<CMethod>,
+    label_count: usize,
+    main: CFuncId,
+    /// Source lines of code (set by the parser; generators estimate it
+    /// from the pretty-printed form).
+    pub loc: usize,
+}
+
+/// Unlabeled pre-AST used by the parser and generators; labels are
+/// assigned by [`CProgram::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CAst {
+    /// `end;`
+    End,
+    /// `compute;` / `skip;`
+    Skip,
+    /// `async { .. }` / `async at(p) { .. }`
+    Async(Vec<CAst>, bool),
+    /// `f();` (by name).
+    Call(String),
+    /// `finish { .. }`
+    Finish(Vec<CAst>),
+    /// `if (?) { .. } else { .. }`
+    If(Vec<CAst>, Vec<CAst>),
+    /// `while (?) { .. }` / `for (?) { .. }`
+    Loop(Vec<CAst>),
+    /// `return;`
+    Return,
+    /// `switch (?) { case {..} .. }`
+    Switch(Vec<Vec<CAst>>),
+}
+
+/// Errors assembling a condensed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CError {
+    /// A call names a missing method.
+    UnknownMethod(String),
+    /// Duplicate method name.
+    DuplicateMethod(String),
+    /// No methods.
+    NoMethods,
+}
+
+impl std::fmt::Display for CError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CError::UnknownMethod(m) => write!(f, "call to unknown method `{m}`"),
+            CError::DuplicateMethod(m) => write!(f, "duplicate method `{m}`"),
+            CError::NoMethods => write!(f, "program has no methods"),
+        }
+    }
+}
+
+impl std::error::Error for CError {}
+
+impl CProgram {
+    /// Assembles and labels a condensed program. The main method is the
+    /// one named `main`, else the first.
+    pub fn new(methods: Vec<(String, Vec<CAst>)>, loc: usize) -> Result<CProgram, CError> {
+        if methods.is_empty() {
+            return Err(CError::NoMethods);
+        }
+        let mut names: Vec<String> = Vec::new();
+        for (name, _) in &methods {
+            if names.contains(name) {
+                return Err(CError::DuplicateMethod(name.clone()));
+            }
+            names.push(name.clone());
+        }
+        let resolve = |n: &str| -> Result<CFuncId, CError> {
+            names
+                .iter()
+                .position(|x| x == n)
+                .map(|i| CFuncId(i as u32))
+                .ok_or_else(|| CError::UnknownMethod(n.to_string()))
+        };
+
+        let mut next = 0u32;
+        fn lower(
+            nodes: Vec<CAst>,
+            next: &mut u32,
+            resolve: &dyn Fn(&str) -> Result<CFuncId, CError>,
+        ) -> Result<CBlock, CError> {
+            let mut out = Vec::with_capacity(nodes.len());
+            for n in nodes {
+                let label = Label(*next);
+                *next += 1;
+                let kind = match n {
+                    CAst::End => CNodeKind::End,
+                    CAst::Skip => CNodeKind::Skip,
+                    CAst::Async(b, ps) => CNodeKind::Async {
+                        body: lower(b, next, resolve)?,
+                        place_switch: ps,
+                    },
+                    CAst::Call(name) => CNodeKind::Call {
+                        callee: resolve(&name)?,
+                    },
+                    CAst::Finish(b) => CNodeKind::Finish {
+                        body: lower(b, next, resolve)?,
+                    },
+                    CAst::If(t, e) => CNodeKind::If {
+                        then_: lower(t, next, resolve)?,
+                        else_: lower(e, next, resolve)?,
+                    },
+                    CAst::Loop(b) => CNodeKind::Loop {
+                        body: lower(b, next, resolve)?,
+                    },
+                    CAst::Return => CNodeKind::Return,
+                    CAst::Switch(cs) => CNodeKind::Switch {
+                        cases: cs
+                            .into_iter()
+                            .map(|c| lower(c, next, resolve))
+                            .collect::<Result<_, _>>()?,
+                    },
+                };
+                out.push(CNode { label, kind });
+            }
+            Ok(CBlock { nodes: out })
+        }
+
+        let mut built = Vec::with_capacity(methods.len());
+        for (name, body) in methods {
+            let body = lower(body, &mut next, &resolve)?;
+            built.push(CMethod { name, body });
+        }
+        let main = names
+            .iter()
+            .position(|n| n == "main")
+            .map(|i| CFuncId(i as u32))
+            .unwrap_or(CFuncId(0));
+        Ok(CProgram {
+            methods: built,
+            label_count: next as usize,
+            main,
+            loc,
+        })
+    }
+
+    /// Methods in declaration order.
+    pub fn methods(&self) -> &[CMethod] {
+        &self.methods
+    }
+
+    /// The method with id `f`.
+    pub fn method(&self, f: CFuncId) -> &CMethod {
+        &self.methods[f.index()]
+    }
+
+    /// Number of methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Looks up a method by name.
+    pub fn find_method(&self, name: &str) -> Option<CFuncId> {
+        self.methods
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| CFuncId(i as u32))
+    }
+
+    /// The entry method.
+    pub fn main(&self) -> CFuncId {
+        self.main
+    }
+
+    /// Total node labels.
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// Visits every node with its enclosing method.
+    pub fn for_each_node(&self, mut f: impl FnMut(CFuncId, &CNode)) {
+        fn walk(b: &CBlock, m: CFuncId, f: &mut impl FnMut(CFuncId, &CNode)) {
+            for n in &b.nodes {
+                f(m, n);
+                match &n.kind {
+                    CNodeKind::Async { body, .. }
+                    | CNodeKind::Finish { body }
+                    | CNodeKind::Loop { body } => walk(body, m, f),
+                    CNodeKind::If { then_, else_ } => {
+                        walk(then_, m, f);
+                        walk(else_, m, f);
+                    }
+                    CNodeKind::Switch { cases } => {
+                        for c in cases {
+                            walk(c, m, f);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (i, m) in self.methods.iter().enumerate() {
+            walk(&m.body, CFuncId(i as u32), &mut f);
+        }
+    }
+
+    /// Node-kind counts (the columns of Figure 7; `method` counts one per
+    /// method, and `total` includes the method nodes).
+    pub fn node_counts(&self) -> NodeCounts {
+        let mut c = NodeCounts {
+            method: self.method_count(),
+            ..NodeCounts::default()
+        };
+        self.for_each_node(|_, n| match &n.kind {
+            CNodeKind::End => c.end += 1,
+            CNodeKind::Skip => c.skip += 1,
+            CNodeKind::Async { .. } => c.async_ += 1,
+            CNodeKind::Call { .. } => c.call += 1,
+            CNodeKind::Finish { .. } => c.finish += 1,
+            CNodeKind::If { .. } => c.if_ += 1,
+            CNodeKind::Loop { .. } => c.loop_ += 1,
+            CNodeKind::Return => c.return_ += 1,
+            CNodeKind::Switch { .. } => c.switch += 1,
+        });
+        c
+    }
+
+    /// Async statistics (the Figure 6 columns): total asyncs, *loop*
+    /// asyncs (in a loop with no finish wrapping them inside the loop),
+    /// and *place-switching* asyncs.
+    ///
+    /// Following the paper, "for an ateach loop, we count the implicit
+    /// async as a loop async even though it also serves the purpose of
+    /// place switching" — i.e. the categories are exhaustive and disjoint,
+    /// loop membership winning.
+    pub fn async_stats(&self) -> AsyncStats {
+        let mut st = AsyncStats::default();
+        // in_loop: inside a loop body with no intervening finish.
+        fn walk(b: &CBlock, in_loop: bool, st: &mut AsyncStats) {
+            for n in &b.nodes {
+                match &n.kind {
+                    CNodeKind::Async { body, place_switch } => {
+                        st.total += 1;
+                        if in_loop {
+                            st.loop_asyncs += 1;
+                        } else if *place_switch {
+                            st.place_switch += 1;
+                        }
+                        walk(body, in_loop, st);
+                    }
+                    CNodeKind::Finish { body } => walk(body, false, st),
+                    CNodeKind::Loop { body } => walk(body, true, st),
+                    CNodeKind::If { then_, else_ } => {
+                        walk(then_, in_loop, st);
+                        walk(else_, in_loop, st);
+                    }
+                    CNodeKind::Switch { cases } => {
+                        for c in cases {
+                            walk(c, in_loop, st);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for m in &self.methods {
+            walk(&m.body, false, &mut st);
+        }
+        st
+    }
+}
+
+/// Figure 6 async columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyncStats {
+    /// All async nodes.
+    pub total: usize,
+    /// Asyncs in loops not wrapped in a finish (may overlap themselves).
+    pub loop_asyncs: usize,
+    /// Place-switching asyncs outside loops.
+    pub place_switch: usize,
+}
+
+/// Figure 7 node-kind counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounts {
+    /// `End` nodes.
+    pub end: usize,
+    /// `Async` nodes.
+    pub async_: usize,
+    /// `Call` nodes.
+    pub call: usize,
+    /// `Finish` nodes.
+    pub finish: usize,
+    /// `If` nodes.
+    pub if_: usize,
+    /// `Loop` nodes.
+    pub loop_: usize,
+    /// One per method.
+    pub method: usize,
+    /// `Return` nodes.
+    pub return_: usize,
+    /// `Skip` nodes.
+    pub skip: usize,
+    /// `Switch` nodes.
+    pub switch: usize,
+}
+
+impl NodeCounts {
+    /// Total nodes including method nodes.
+    pub fn total(&self) -> usize {
+        self.end
+            + self.async_
+            + self.call
+            + self.finish
+            + self.if_
+            + self.loop_
+            + self.method
+            + self.return_
+            + self.skip
+            + self.switch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CProgram {
+        CProgram::new(
+            vec![
+                (
+                    "f".into(),
+                    vec![CAst::Async(vec![CAst::Skip], false), CAst::Return, CAst::End],
+                ),
+                (
+                    "main".into(),
+                    vec![
+                        CAst::Finish(vec![CAst::Call("f".into())]),
+                        CAst::Loop(vec![CAst::Async(vec![CAst::Skip], true)]),
+                        CAst::If(vec![CAst::Skip], vec![]),
+                        CAst::Switch(vec![vec![CAst::Skip], vec![CAst::Return]]),
+                        CAst::End,
+                    ],
+                ),
+            ],
+            42,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn labels_are_dense() {
+        let p = sample();
+        let mut labels = Vec::new();
+        p.for_each_node(|_, n| labels.push(n.label.0));
+        labels.sort();
+        assert_eq!(labels, (0..p.label_count() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_counts_match_figure7_columns() {
+        let p = sample();
+        let c = p.node_counts();
+        assert_eq!(c.method, 2);
+        assert_eq!(c.async_, 2);
+        assert_eq!(c.finish, 1);
+        assert_eq!(c.loop_, 1);
+        assert_eq!(c.if_, 1);
+        assert_eq!(c.switch, 1);
+        assert_eq!(c.return_, 2);
+        assert_eq!(c.end, 2);
+        assert_eq!(c.skip, 4);
+        assert_eq!(c.call, 1);
+        assert_eq!(c.total(), p.label_count() + c.method);
+    }
+
+    #[test]
+    fn async_stats_classify_loop_and_place_switch() {
+        let p = sample();
+        let st = p.async_stats();
+        assert_eq!(st.total, 2);
+        // The `async at` inside the loop counts as a loop async (paper's
+        // ateach convention), not as a place switch.
+        assert_eq!(st.loop_asyncs, 1);
+        assert_eq!(st.place_switch, 0);
+    }
+
+    #[test]
+    fn finish_inside_loop_blocks_loop_async_category() {
+        let p = CProgram::new(
+            vec![(
+                "main".into(),
+                vec![CAst::Loop(vec![CAst::Finish(vec![CAst::Async(
+                    vec![CAst::Skip],
+                    false,
+                )])])],
+            )],
+            1,
+        )
+        .unwrap();
+        let st = p.async_stats();
+        assert_eq!(st.total, 1);
+        assert_eq!(st.loop_asyncs, 0, "finish-wrapped: cannot self-overlap");
+    }
+
+    #[test]
+    fn unknown_callee_rejected() {
+        let err = CProgram::new(vec![("main".into(), vec![CAst::Call("g".into())])], 1)
+            .unwrap_err();
+        assert_eq!(err, CError::UnknownMethod("g".into()));
+    }
+}

@@ -1,0 +1,510 @@
+//! An executable semantics for the condensed form.
+//!
+//! The paper's condensed constraints for `if`/`switch`/`loop`/`return`
+//! are described only as "similar to those for FX10" (§5.3); DESIGN.md §6
+//! pins them down, and this module provides the ground truth to validate
+//! that pinning: a small-step semantics with
+//!
+//! - nondeterministic branch choice for `if`/`switch` (guards are
+//!   opaque),
+//! - loops iterating a nondeterministic `0..=K` times (any bound yields
+//!   an *under*-approximation of the analysis' ≥2-iterations assumption,
+//!   so `dynamic ⊆ static` must hold for every `K`; `K = 2` exercises
+//!   the self-overlap the analysis models),
+//! - `return` unwinding to the nearest method boundary (calls push
+//!   frames; asyncs capture the frame stack),
+//! - `async`/`finish` building the same `∥`/`▷` trees as FX10.
+//!
+//! [`explore_condensed`] enumerates reachable configurations and unions
+//! the co-enabled front labels — the condensed dynamic MHP — which the
+//! property tests compare against
+//! [`analyze_condensed`](crate::gen::analyze_condensed).
+
+use crate::condensed::{CBlock, CNode, CNodeKind, CProgram};
+use fx10_syntax::Label;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// Loop-iteration bound for exploration.
+pub const DEFAULT_LOOP_BOUND: u8 = 2;
+
+/// One frame of an activity: a node list, a cursor, and what popping it
+/// means.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Frame {
+    nodes: Rc<Vec<CNode>>,
+    pos: usize,
+    kind: FrameKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum FrameKind {
+    /// A method body: `return` stops here.
+    Method,
+    /// A branch or finish/async body block.
+    Block,
+    /// A loop body; `iterations_left` more re-entries are allowed.
+    Loop { iterations_left: u8 },
+}
+
+/// An activity: a stack of frames (innermost last).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Task {
+    frames: Vec<Frame>,
+}
+
+impl Task {
+    fn of_block(nodes: &CBlock, kind: FrameKind) -> Task {
+        Task {
+            frames: vec![Frame {
+                nodes: Rc::new(nodes.nodes.clone()),
+                pos: 0,
+                kind,
+            }],
+        }
+    }
+
+    /// Drops exhausted frames; empty = the activity finished.
+    fn settle(mut self) -> Option<Task> {
+        loop {
+            match self.frames.last() {
+                None => return None,
+                Some(f) if f.pos < f.nodes.len() => return Some(self),
+                Some(f) => {
+                    // Loop frames may restart instead of popping; that
+                    // choice is made in `successors` — settle only pops
+                    // frames with no iterations left.
+                    if let FrameKind::Loop { iterations_left } = f.kind {
+                        if iterations_left > 0 {
+                            return Some(self);
+                        }
+                    }
+                    self.frames.pop();
+                }
+            }
+        }
+    }
+
+    /// The node about to execute, if the task is not at a loop-restart
+    /// decision point.
+    fn current(&self) -> Option<&CNode> {
+        let f = self.frames.last()?;
+        f.nodes.get(f.pos)
+    }
+
+    /// The label an observer sees as "executing next".
+    fn front_label(&self) -> Option<Label> {
+        self.current().map(|n| n.label)
+    }
+}
+
+/// The execution tree (same shape as FX10's).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum CTree {
+    Done,
+    Leaf(Task),
+    Seq(Box<CTree>, Box<CTree>),
+    Par(Box<CTree>, Box<CTree>),
+}
+
+impl CTree {
+    fn leaf(t: Task) -> CTree {
+        match t.settle() {
+            Some(t) => CTree::Leaf(t),
+            None => CTree::Done,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self, CTree::Done)
+    }
+
+    fn fronts(&self, out: &mut Vec<Label>) {
+        match self {
+            CTree::Done => {}
+            CTree::Leaf(t) => {
+                if let Some(l) = t.front_label() {
+                    out.push(l);
+                }
+            }
+            CTree::Seq(a, _) => a.fronts(out),
+            CTree::Par(a, b) => {
+                a.fronts(out);
+                b.fronts(out);
+            }
+        }
+    }
+}
+
+fn task_successors(p: &CProgram, t: &Task, loop_bound: u8) -> Vec<CTree> {
+    let mut out = Vec::new();
+    let frame = t.frames.last().expect("settled tasks have frames");
+
+    // Loop-restart decision point: the body is exhausted but iterations
+    // remain — either exit (drop the budget) or run the body again.
+    if frame.pos >= frame.nodes.len() {
+        if let FrameKind::Loop { iterations_left } = frame.kind {
+            debug_assert!(iterations_left > 0);
+            // Exit.
+            let mut exit = t.clone();
+            exit.frames.last_mut().unwrap().kind = FrameKind::Loop {
+                iterations_left: 0,
+            };
+            out.push(CTree::leaf(exit));
+            // Re-enter.
+            let mut again = t.clone();
+            {
+                let f = again.frames.last_mut().unwrap();
+                f.pos = 0;
+                f.kind = FrameKind::Loop {
+                    iterations_left: iterations_left - 1,
+                };
+            }
+            out.push(CTree::leaf(again));
+            return out;
+        }
+        unreachable!("settle() pops exhausted non-loop frames");
+    }
+
+    let node = frame.nodes[frame.pos].clone();
+    // The task with the cursor advanced past the current node.
+    let advanced = || {
+        let mut n = t.clone();
+        n.frames.last_mut().unwrap().pos += 1;
+        n
+    };
+
+    match &node.kind {
+        CNodeKind::End | CNodeKind::Skip => out.push(CTree::leaf(advanced())),
+        CNodeKind::Return => {
+            // Unwind to (and including) the nearest method frame; if none
+            // (main's top block is a Method frame, so this only happens
+            // for code spawned past it), finish the activity.
+            let mut n = advanced();
+            while let Some(f) = n.frames.pop() {
+                if matches!(f.kind, FrameKind::Method) {
+                    break;
+                }
+            }
+            out.push(CTree::leaf(n));
+        }
+        CNodeKind::Call { callee } => {
+            let mut n = advanced();
+            n.frames.push(Frame {
+                nodes: Rc::new(p.method(*callee).body.nodes.clone()),
+                pos: 0,
+                kind: FrameKind::Method,
+            });
+            out.push(CTree::leaf(n));
+        }
+        CNodeKind::Async { body, .. } => {
+            let spawned = Task::of_block(body, FrameKind::Block);
+            out.push(CTree::Par(
+                Box::new(CTree::leaf(spawned)),
+                Box::new(CTree::leaf(advanced())),
+            ));
+        }
+        CNodeKind::Finish { body } => {
+            let inner = Task::of_block(body, FrameKind::Block);
+            out.push(CTree::Seq(
+                Box::new(CTree::leaf(inner)),
+                Box::new(CTree::leaf(advanced())),
+            ));
+        }
+        CNodeKind::If { then_, else_ } => {
+            for branch in [then_, else_] {
+                let mut n = advanced();
+                if !branch.nodes.is_empty() {
+                    n.frames.push(Frame {
+                        nodes: Rc::new(branch.nodes.clone()),
+                        pos: 0,
+                        kind: FrameKind::Block,
+                    });
+                }
+                out.push(CTree::leaf(n));
+            }
+        }
+        CNodeKind::Switch { cases } => {
+            if cases.is_empty() {
+                out.push(CTree::leaf(advanced()));
+            }
+            for case in cases {
+                let mut n = advanced();
+                if !case.nodes.is_empty() {
+                    n.frames.push(Frame {
+                        nodes: Rc::new(case.nodes.clone()),
+                        pos: 0,
+                        kind: FrameKind::Block,
+                    });
+                }
+                out.push(CTree::leaf(n));
+            }
+        }
+        CNodeKind::Loop { body } => {
+            // Skip entirely…
+            out.push(CTree::leaf(advanced()));
+            // …or enter with the iteration budget.
+            if !body.nodes.is_empty() && loop_bound > 0 {
+                let mut n = advanced();
+                n.frames.push(Frame {
+                    nodes: Rc::new(body.nodes.clone()),
+                    pos: 0,
+                    kind: FrameKind::Loop {
+                        iterations_left: loop_bound - 1,
+                    },
+                });
+                out.push(CTree::leaf(n));
+            }
+        }
+    }
+    out
+}
+
+fn tree_successors(p: &CProgram, t: &CTree, loop_bound: u8) -> Vec<CTree> {
+    match t {
+        CTree::Done => vec![],
+        CTree::Leaf(task) => task_successors(p, task, loop_bound),
+        CTree::Seq(a, b) => {
+            if a.is_done() {
+                vec![(**b).clone()]
+            } else {
+                tree_successors(p, a, loop_bound)
+                    .into_iter()
+                    .map(|a2| CTree::Seq(Box::new(a2), b.clone()))
+                    .collect()
+            }
+        }
+        CTree::Par(a, b) => {
+            let mut out = Vec::new();
+            if a.is_done() {
+                out.push((**b).clone());
+            }
+            if b.is_done() {
+                out.push((**a).clone());
+            }
+            for a2 in tree_successors(p, a, loop_bound) {
+                out.push(CTree::Par(Box::new(a2), b.clone()));
+            }
+            for b2 in tree_successors(p, b, loop_bound) {
+                out.push(CTree::Par(a.clone(), Box::new(b2)));
+            }
+            out
+        }
+    }
+}
+
+/// Result of exploring a condensed program.
+#[derive(Debug, Clone)]
+pub struct CondensedExploration {
+    /// Distinct configurations visited.
+    pub visited: usize,
+    /// True when the cap cut the search.
+    pub truncated: bool,
+    /// Dynamic MHP under the bounded-loop semantics.
+    pub mhp: BTreeSet<(Label, Label)>,
+    /// Every reachable configuration could step.
+    pub deadlock_free: bool,
+}
+
+/// Exhaustive exploration of a condensed program's bounded-loop
+/// semantics, computing the dynamic MHP ground truth.
+pub fn explore_condensed(p: &CProgram, max_states: usize, loop_bound: u8) -> CondensedExploration {
+    let init = CTree::leaf(Task::of_block(&p.method(p.main()).body, FrameKind::Method));
+    let mut visited: HashSet<CTree> = HashSet::new();
+    let mut queue: VecDeque<CTree> = VecDeque::new();
+    visited.insert(init.clone());
+    queue.push_back(init);
+
+    let mut mhp = BTreeSet::new();
+    let mut truncated = false;
+    let mut deadlock_free = true;
+
+    while let Some(t) = queue.pop_front() {
+        let mut fronts = Vec::new();
+        t.fronts(&mut fronts);
+        // Only labels of leaves that can actually step count; every
+        // non-done leaf can (the semantics is total), so all fronts do.
+        for (i, &x) in fronts.iter().enumerate() {
+            for &y in &fronts[i + 1..] {
+                mhp.insert((x.min(y), x.max(y)));
+            }
+        }
+        let mut sorted = fronts;
+        sorted.sort();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                mhp.insert((w[0], w[0]));
+            }
+        }
+
+        if t.is_done() {
+            continue;
+        }
+        let succ = tree_successors(p, &t, loop_bound);
+        if succ.is_empty() {
+            deadlock_free = false;
+            continue;
+        }
+        for s in succ {
+            if visited.len() >= max_states {
+                truncated = true;
+                break;
+            }
+            if visited.insert(s.clone()) {
+                queue.push_back(s);
+            }
+        }
+        if truncated {
+            break;
+        }
+    }
+
+    CondensedExploration {
+        visited: visited.len(),
+        truncated,
+        mhp,
+        deadlock_free,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condensed::CAst;
+    use crate::gen::analyze_condensed;
+    use fx10_core::analysis::SolverKind;
+    use fx10_core::Mode;
+
+    fn prog(methods: Vec<(&str, Vec<CAst>)>) -> CProgram {
+        CProgram::new(
+            methods
+                .into_iter()
+                .map(|(n, b)| (n.to_string(), b))
+                .collect(),
+            1,
+        )
+        .unwrap()
+    }
+
+    fn check_sound(p: &CProgram) -> CondensedExploration {
+        let e = explore_condensed(p, 100_000, DEFAULT_LOOP_BOUND);
+        assert!(e.deadlock_free);
+        let a = analyze_condensed(p, Mode::ContextSensitive, SolverKind::Worklist);
+        for &(x, y) in &e.mhp {
+            assert!(
+                a.may_happen_in_parallel(x, y),
+                "dynamic pair ({x:?},{y:?}) missing statically"
+            );
+        }
+        e
+    }
+
+    #[test]
+    fn if_branches_do_not_overlap_dynamically() {
+        let p = prog(vec![(
+            "main",
+            vec![
+                CAst::If(
+                    vec![CAst::Async(vec![CAst::Skip], false)],
+                    vec![CAst::Skip],
+                ),
+                CAst::Skip,
+            ],
+        )]);
+        let e = check_sound(&p);
+        // Labels: 0=if, 1=async, 2=S, 3=else, 4=K.
+        let pair = |a: u32, b: u32| (Label(a.min(b)), Label(a.max(b)));
+        assert!(e.mhp.contains(&pair(2, 4)), "S ∥ K across the if join");
+        assert!(!e.mhp.contains(&pair(2, 3)), "branches are exclusive");
+    }
+
+    #[test]
+    fn loop_async_self_overlap_is_dynamically_real() {
+        let p = prog(vec![(
+            "main",
+            vec![CAst::Loop(vec![CAst::Async(vec![CAst::Skip], false)])],
+        )]);
+        let e = check_sound(&p);
+        // Label 2 = the async body: two iterations overlap.
+        assert!(e.mhp.contains(&(Label(2), Label(2))));
+    }
+
+    #[test]
+    fn return_leaks_pending_asyncs_to_the_caller() {
+        // def f() { async {S} return; }  main { f(); K }
+        let p = prog(vec![
+            (
+                "f",
+                vec![CAst::Async(vec![CAst::Skip], false), CAst::Return],
+            ),
+            ("main", vec![CAst::Call("f".into()), CAst::Skip]),
+        ]);
+        let e = check_sound(&p);
+        // Labels: 0=async, 1=S, 2=return, 3=call, 4=K.
+        assert!(
+            e.mhp.contains(&(Label(1), Label(4))),
+            "S really does overlap K: {:?}",
+            e.mhp
+        );
+    }
+
+    #[test]
+    fn return_skips_the_rest_of_the_method() {
+        // def f() { return; async {S} }  main { f(); K }
+        // Dynamically S never runs; statically the conservative rule
+        // still reports (S, K) — a known over-approximation.
+        let p = prog(vec![
+            (
+                "f",
+                vec![CAst::Return, CAst::Async(vec![CAst::Skip], false)],
+            ),
+            ("main", vec![CAst::Call("f".into()), CAst::Skip]),
+        ]);
+        let e = check_sound(&p);
+        assert!(
+            !e.mhp.contains(&(Label(2), Label(4))),
+            "S is dead after the return"
+        );
+        let a = analyze_condensed(&p, Mode::ContextSensitive, SolverKind::Worklist);
+        assert!(
+            a.may_happen_in_parallel(Label(2), Label(4)),
+            "the static rule keeps dead continuations (conservative)"
+        );
+    }
+
+    #[test]
+    fn finish_inside_branch_joins_dynamically() {
+        let p = prog(vec![(
+            "main",
+            vec![
+                CAst::If(
+                    vec![CAst::Finish(vec![CAst::Async(vec![CAst::Skip], false)])],
+                    vec![],
+                ),
+                CAst::Skip,
+            ],
+        )]);
+        let e = check_sound(&p);
+        // Labels: 0=if, 1=finish, 2=async, 3=S, 4=K.
+        assert!(!e.mhp.contains(&(Label(3), Label(4))));
+    }
+
+    #[test]
+    fn switch_cases_are_exclusive() {
+        let p = prog(vec![(
+            "main",
+            vec![
+                CAst::Switch(vec![
+                    vec![CAst::Async(vec![CAst::Skip], false)],
+                    vec![CAst::Skip],
+                    vec![],
+                ]),
+                CAst::Skip,
+            ],
+        )]);
+        let e = check_sound(&p);
+        // Labels: 0=switch, 1=async, 2=S, 3=case2-skip, 4=K.
+        assert!(e.mhp.contains(&(Label(2), Label(4))));
+        assert!(!e.mhp.contains(&(Label(2), Label(3))));
+    }
+}

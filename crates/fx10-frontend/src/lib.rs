@@ -1,0 +1,27 @@
+//! # fx10-frontend
+//!
+//! The X10-Lite frontend: a condensed ten-node-kind intermediate form
+//! (end/async/call/finish/if/loop/method/return/skip/switch) mirroring the
+//! form the paper's implementation condenses full X10 into (§6, Figure 7),
+//! plus a parser for an X10-like surface language ([`x10lite`]) and
+//! constraint generation for the condensed form ([`gen`]).
+//!
+//! The pipeline is the same three phases as `fx10-core` and reuses its
+//! solvers and set domains; [`gen::analyze_condensed`] is the condensed
+//! analogue of `fx10_core::analyze`.
+
+
+#![warn(missing_docs)]
+pub mod condensed;
+pub mod csemantics;
+pub mod gen;
+pub mod places;
+pub mod x10lite;
+
+pub use condensed::{
+    AsyncStats, CAst, CBlock, CFuncId, CMethod, CNode, CNodeKind, CProgram, NodeCounts,
+};
+pub use csemantics::{explore_condensed, CondensedExploration};
+pub use gen::{analyze_condensed, async_pairs_condensed, CAsyncSite, CondensedAnalysis};
+pub use places::{same_place_pairs, PlaceAssignment, PlaceId};
+pub use x10lite::{parse, pretty, X10ParseError};

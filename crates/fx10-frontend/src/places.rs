@@ -1,0 +1,246 @@
+//! Places — the paper's §8 extension sketch, implemented.
+//!
+//! "Another idea is to support computation with multiple places … One
+//! could then consider refining our analysis by asking whether two
+//! statements may happen in parallel on the *same* place."
+//!
+//! X10 activities run at places; only `async at(p)` moves computation.
+//! We assign every node an *abstract place*: the program starts at place
+//! 0, a place-switching async's body runs at a fresh abstract place, and
+//! everything else (including plain asyncs) inherits its context's place.
+//! Distinct abstract places *may* denote distinct dynamic places, so two
+//! statements with different abstract places may-happen-in-parallel
+//! *on the same place* only if … never: an abstract place is created by
+//! exactly one `async at` node, so labels with different abstract places
+//! are guaranteed to run at different dynamic places **under the
+//! free-placement interpretation** (each `at(p)` targets a fresh place).
+//! This is the refinement's optimistic mode, useful for bounding how much
+//! same-place analysis could help (e.g. for lock-based race detectors
+//! that only protect intra-place accesses).
+//!
+//! [`same_place_pairs`] filters an MHP relation down to the pairs whose
+//! abstract places coincide — the statements that can really contend.
+
+use crate::condensed::{CBlock, CNodeKind, CProgram};
+use crate::gen::CondensedAnalysis;
+use fx10_core::sets::PairSet;
+use fx10_syntax::Label;
+
+/// An abstract place id. Place 0 is where `main` starts; each
+/// place-switching async introduces a fresh id for its body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlaceId(pub u32);
+
+/// The abstract place of every label.
+#[derive(Debug, Clone)]
+pub struct PlaceAssignment {
+    places: Vec<PlaceId>,
+    count: u32,
+}
+
+impl PlaceAssignment {
+    /// Computes the assignment for a condensed program.
+    ///
+    /// Method bodies are assigned the place of… every call site, which in
+    /// general differs per call; we conservatively mark methods called
+    /// from more than one distinct place context as *migratory*: their
+    /// labels get the special ambiguous place (`PlaceId(u32::MAX)`) that
+    /// collides with every place (so the refinement never loses
+    /// soundness).
+    pub fn compute(p: &CProgram) -> PlaceAssignment {
+        let n = p.label_count();
+        // Sentinels: UNSET = not yet reached, u32::MAX = ambiguous
+        // (multiple place contexts).
+        const UNSET: u32 = u32::MAX - 1;
+        let mut places = vec![UNSET; n];
+        let mut method_place = vec![UNSET; p.method_count()];
+
+        // Iterate to a fixed point over the call graph: main's body at
+        // place 0; call sites propagate their place into callees.
+        method_place[p.main().index()] = 0;
+        loop {
+            let mut changed = false;
+
+            fn walk(
+                b: &CBlock,
+                here: u32,
+                places: &mut [u32],
+                method_place: &mut [u32],
+                changed: &mut bool,
+            ) {
+                for node in &b.nodes {
+                    let slot = &mut places[node.label.index()];
+                    if *slot != here && *slot != u32::MAX {
+                        if *slot == u32::MAX - 1 {
+                            *slot = here;
+                        } else {
+                            *slot = u32::MAX; // two contexts: ambiguous
+                        }
+                        *changed = true;
+                    }
+                    match &node.kind {
+                        CNodeKind::Async { body, place_switch } => {
+                            let target = if *place_switch {
+                                // A fresh abstract place per `at` node,
+                                // stable across fixpoint rounds: derived
+                                // from the node label.
+                                node.label.0 + 1_000_000
+                            } else {
+                                here
+                            };
+                            walk(body, target, places, method_place, changed);
+                        }
+                        CNodeKind::Finish { body } | CNodeKind::Loop { body } => {
+                            walk(body, here, places, method_place, changed)
+                        }
+                        CNodeKind::If { then_, else_ } => {
+                            walk(then_, here, places, method_place, changed);
+                            walk(else_, here, places, method_place, changed);
+                        }
+                        CNodeKind::Switch { cases } => {
+                            for c in cases {
+                                walk(c, here, places, method_place, changed);
+                            }
+                        }
+                        CNodeKind::Call { callee } => {
+                            let mp = &mut method_place[callee.index()];
+                            if *mp != here && *mp != u32::MAX {
+                                if *mp == u32::MAX - 1 {
+                                    *mp = here;
+                                } else {
+                                    *mp = u32::MAX;
+                                }
+                                *changed = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            for (mi, m) in p.methods().iter().enumerate() {
+                let here = method_place[mi];
+                if here == UNSET {
+                    continue; // unreachable method
+                }
+                walk(&m.body, here, &mut places, &mut method_place, &mut changed);
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Unreached labels (dead methods) default to place 0.
+        let places: Vec<PlaceId> = places
+            .into_iter()
+            .map(|q| PlaceId(if q == UNSET { 0 } else { q }))
+            .collect();
+        let count = {
+            let mut distinct: Vec<u32> = places
+                .iter()
+                .map(|p| p.0)
+                .filter(|&q| q != u32::MAX)
+                .collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            distinct.len() as u32
+        };
+        PlaceAssignment { places, count }
+    }
+
+    /// The abstract place of a label.
+    pub fn place(&self, l: Label) -> PlaceId {
+        self.places[l.index()]
+    }
+
+    /// True when the two labels may run at the same dynamic place: equal
+    /// abstract places, or either is ambiguous.
+    pub fn may_share_place(&self, a: Label, b: Label) -> bool {
+        let (pa, pb) = (self.place(a), self.place(b));
+        pa == pb || pa.0 == u32::MAX || pb.0 == u32::MAX
+    }
+
+    /// Number of non-ambiguous abstract places introduced (diagnostics).
+    pub fn place_count(&self) -> u32 {
+        self.count
+    }
+}
+
+/// The §8 refinement: the subset of an analysis's MHP pairs whose
+/// statements may contend at a single place.
+pub fn same_place_pairs(ca: &CondensedAnalysis, places: &PlaceAssignment) -> PairSet {
+    let m = ca.mhp();
+    let mut out = PairSet::empty(m.universe());
+    for (a, b) in m.iter_pairs() {
+        if places.may_share_place(a, b) {
+            out.insert(a, b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::analyze_condensed;
+    use crate::x10lite::parse;
+    use fx10_core::analysis::SolverKind;
+    use fx10_core::Mode;
+
+    #[test]
+    fn place_switch_separates_parallel_statements() {
+        // Body (label 1) runs at a fresh place; the continuation (label
+        // 2) stays at place 0. They MHP, but never at the same place.
+        let p = parse("def main() { async at (p) { compute; } compute; }").unwrap();
+        let places = PlaceAssignment::compute(&p);
+        let a = analyze_condensed(&p, Mode::ContextSensitive, SolverKind::Naive);
+        assert!(a.may_happen_in_parallel(Label(1), Label(2)));
+        assert!(!places.may_share_place(Label(1), Label(2)));
+        let refined = same_place_pairs(&a, &places);
+        assert!(!refined.contains(Label(1), Label(2)));
+        assert!(refined.len() < a.mhp().len());
+    }
+
+    #[test]
+    fn plain_async_shares_the_place() {
+        let p = parse("def main() { async { compute; } compute; }").unwrap();
+        let places = PlaceAssignment::compute(&p);
+        let a = analyze_condensed(&p, Mode::ContextSensitive, SolverKind::Naive);
+        assert!(places.may_share_place(Label(1), Label(2)));
+        let refined = same_place_pairs(&a, &places);
+        assert_eq!(&refined, a.mhp(), "no place switches → no refinement");
+    }
+
+    #[test]
+    fn multi_context_methods_are_ambiguous() {
+        // f is called from place 0 and from inside an `async at` — its
+        // labels must collide with everything (soundness).
+        let p = parse(
+            "def f() { compute; }\n\
+             def main() { f(); async at (q) { f(); } compute; }",
+        )
+        .unwrap();
+        let places = PlaceAssignment::compute(&p);
+        let f_label = {
+            let f = p.find_method("f").unwrap();
+            p.method(f).body.nodes[0].label
+        };
+        assert_eq!(places.place(f_label).0, u32::MAX, "migratory method");
+        // Ambiguous collides with both contexts.
+        assert!(places.may_share_place(f_label, Label(1)));
+    }
+
+    #[test]
+    fn ateach_bodies_get_distinct_places() {
+        let p = parse(
+            "def main() { ateach (q) { compute; } async at (r) { compute; } }",
+        )
+        .unwrap();
+        let places = PlaceAssignment::compute(&p);
+        // Labels: 0=loop, 1=async(at), 2=compute, 3=async at, 4=compute.
+        let b1 = places.place(Label(2));
+        let b2 = places.place(Label(4));
+        assert_ne!(b1, b2);
+        assert_ne!(b1, places.place(Label(0)));
+    }
+}

@@ -1,0 +1,489 @@
+//! Exhaustive state-space exploration.
+//!
+//! For a program `p`, the paper defines
+//!
+//! ```text
+//! MHP(p) = ∪ { parallel(T) | (p, A₀, ⟨s₀⟩) →* (p, A, T) }
+//! ```
+//!
+//! [`explore`] enumerates the reachable states of `(p, A₀)` breadth-first
+//! and accumulates exactly this union — the *dynamic*, ground-truth MHP
+//! relation. On terminating programs with a sufficient state budget the
+//! result is exact; when the budget truncates the search the result is an
+//! *under*-approximation, which is still sound to compare against the
+//! static analysis (`dynamic ⊆ static` must hold either way).
+//!
+//! Along the way the explorer machine-checks **Theorem 1 (deadlock
+//! freedom)**: every visited state is either `√` or has at least one
+//! successor.
+//!
+//! [`explore_parallel`] is a multi-threaded version (crossbeam scoped
+//! threads, sharded `parking_lot`-protected visited tables) for larger
+//! state spaces; it computes the same sets.
+
+use crate::parallel::{parallel, LabelPair};
+use crate::state::ArrayState;
+use crate::step::{initial_tree, successors};
+use crate::tree::Tree;
+use fx10_syntax::Program;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Stop expanding after this many distinct states (the search is then
+    /// marked truncated). The default (200 000) comfortably covers the
+    /// paper's examples.
+    pub max_states: usize,
+    /// Collapse the administrative `√`-elimination steps (rules 1, 3, 4)
+    /// eagerly via [`Tree::normalized`]. Sound for dynamic MHP (the
+    /// collapsed states contribute no pairs of their own) and typically
+    /// shrinks the state space severalfold; off by default so the
+    /// explorer matches the literal semantics.
+    pub normalize_admin: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 200_000,
+            normalize_admin: false,
+        }
+    }
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Number of distinct states visited.
+    pub visited: usize,
+    /// True when `max_states` cut the search short (the MHP set is then a
+    /// lower bound).
+    pub truncated: bool,
+    /// `∪ parallel(T)` over all visited states — dynamic MHP, as
+    /// unordered label pairs.
+    pub mhp: BTreeSet<LabelPair>,
+    /// Theorem 1 verdict: every visited non-`√` state had a successor.
+    pub deadlock_free: bool,
+    /// Number of terminal (`√`) states reached.
+    pub terminals: usize,
+}
+
+/// One state of the transition system (the program is fixed).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    array: ArrayState,
+    tree: Tree,
+}
+
+/// Sequential breadth-first exploration from `(A₀(input), ⟨s₀⟩)`.
+pub fn explore(p: &Program, input: &[i64], config: ExploreConfig) -> Exploration {
+    let norm = |t: Tree| if config.normalize_admin { t.normalized() } else { t };
+    let init = State {
+        array: ArrayState::with_input(p, input),
+        tree: norm(initial_tree(p)),
+    };
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    visited.insert(init.clone());
+    queue.push_back(init);
+
+    let mut mhp = BTreeSet::new();
+    let mut truncated = false;
+    let mut deadlock_free = true;
+    let mut terminals = 0usize;
+
+    while let Some(st) = queue.pop_front() {
+        mhp.extend(parallel(&st.tree));
+        if st.tree.is_done() {
+            terminals += 1;
+            continue;
+        }
+        let succ = successors(p, &st.array, &st.tree);
+        if succ.is_empty() {
+            deadlock_free = false; // would falsify Theorem 1
+            continue;
+        }
+        for s in succ {
+            if visited.len() >= config.max_states {
+                truncated = true;
+                break;
+            }
+            let next = State {
+                array: s.array,
+                tree: norm(s.tree),
+            };
+            if visited.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+        if truncated {
+            break;
+        }
+    }
+
+    // Drain remaining queued states into the MHP union so truncation never
+    // drops information we already paid for.
+    for st in queue {
+        mhp.extend(parallel(&st.tree));
+    }
+
+    Exploration {
+        visited: visited.len(),
+        truncated,
+        mhp,
+        deadlock_free,
+        terminals,
+    }
+}
+
+const SHARDS: usize = 64;
+
+fn shard_of(state: &State) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    state.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// Multi-threaded exploration. Computes the same [`Exploration`] sets as
+/// [`explore`] (`visited` may differ by a few states around the truncation
+/// point; on non-truncated runs all fields except queue-order artifacts
+/// are identical).
+pub fn explore_parallel(
+    p: &Program,
+    input: &[i64],
+    config: ExploreConfig,
+    threads: usize,
+) -> Exploration {
+    let threads = threads.max(1);
+    let norm = |t: Tree| if config.normalize_admin { t.normalized() } else { t };
+    let init = State {
+        array: ArrayState::with_input(p, input),
+        tree: norm(initial_tree(p)),
+    };
+
+    let visited: Vec<Mutex<HashSet<State>>> =
+        (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
+    let visited_count = AtomicUsize::new(0);
+    let pending = AtomicUsize::new(0);
+    let truncated = AtomicBool::new(false);
+    let deadlock_free = AtomicBool::new(true);
+    let terminals = AtomicUsize::new(0);
+
+    let (tx, rx) = crossbeam::channel::unbounded::<State>();
+    visited[shard_of(&init)].lock().insert(init.clone());
+    visited_count.fetch_add(1, Ordering::Relaxed);
+    pending.fetch_add(1, Ordering::SeqCst);
+    tx.send(init).unwrap();
+
+    let mut partial_mhp: Vec<BTreeSet<LabelPair>> = Vec::new();
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let tx = tx.clone();
+            let visited = &visited;
+            let visited_count = &visited_count;
+            let pending = &pending;
+            let truncated = &truncated;
+            let deadlock_free = &deadlock_free;
+            let terminals = &terminals;
+            handles.push(scope.spawn(move |_| {
+                let mut local_mhp: BTreeSet<LabelPair> = BTreeSet::new();
+                loop {
+                    match rx.try_recv() {
+                        Ok(st) => {
+                            local_mhp.extend(parallel(&st.tree));
+                            if st.tree.is_done() {
+                                terminals.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                let succ = successors(p, &st.array, &st.tree);
+                                if succ.is_empty() {
+                                    deadlock_free.store(false, Ordering::Relaxed);
+                                }
+                                for s in succ {
+                                    if visited_count.load(Ordering::Relaxed) >= config.max_states {
+                                        truncated.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    let next = State {
+                                        array: s.array,
+                                        tree: norm(s.tree),
+                                    };
+                                    let is_new =
+                                        visited[shard_of(&next)].lock().insert(next.clone());
+                                    if is_new {
+                                        visited_count.fetch_add(1, Ordering::Relaxed);
+                                        pending.fetch_add(1, Ordering::SeqCst);
+                                        tx.send(next).unwrap();
+                                    }
+                                }
+                            }
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(crossbeam::channel::TryRecvError::Empty) => {
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+                    }
+                }
+                local_mhp
+            }));
+        }
+        drop(tx);
+        for h in handles {
+            partial_mhp.push(h.join().unwrap());
+        }
+    })
+    .expect("explorer threads must not panic");
+
+    let mut mhp = BTreeSet::new();
+    for part in partial_mhp {
+        mhp.extend(part);
+    }
+
+    Exploration {
+        visited: visited_count.load(Ordering::Relaxed),
+        truncated: truncated.load(Ordering::Relaxed),
+        mhp,
+        deadlock_free: deadlock_free.load(Ordering::Relaxed),
+        terminals: terminals.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_syntax::examples;
+    use fx10_syntax::Label;
+
+    fn names(p: &Program, mhp: &BTreeSet<LabelPair>) -> BTreeSet<(String, String)> {
+        mhp.iter()
+            .map(|&(a, b)| {
+                let (x, y) = (p.labels().display(a), p.labels().display(b));
+                if x <= y {
+                    (x, y)
+                } else {
+                    (y, x)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_has_no_mhp() {
+        let p = Program::parse("def main() { S1; S2; S3; }").unwrap();
+        let e = explore(&p, &[], ExploreConfig::default());
+        assert!(!e.truncated);
+        assert!(e.deadlock_free);
+        assert!(e.mhp.is_empty());
+        assert_eq!(e.terminals, 1);
+    }
+
+    #[test]
+    fn async_body_parallel_with_continuation() {
+        let p = Program::parse("def main() { async { B; } K; }").unwrap();
+        let e = explore(&p, &[], ExploreConfig::default());
+        let n = names(&p, &e.mhp);
+        assert!(n.contains(&("B".into(), "K".into())));
+        assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn finish_blocks_cross_pairs() {
+        let p = Program::parse("def main() { finish { async { B; } } K; }").unwrap();
+        let e = explore(&p, &[], ExploreConfig::default());
+        assert!(e.mhp.is_empty(), "finish must prevent B ∥ K: {:?}", e.mhp);
+    }
+
+    #[test]
+    fn example_2_1_dynamic_mhp_matches_paper() {
+        let p = examples::example_2_1();
+        let e = explore(&p, &[], ExploreConfig::default());
+        assert!(!e.truncated);
+        assert!(e.deadlock_free);
+        let got = names(&p, &e.mhp);
+        // The paper says its analysis result is the best possible for this
+        // program, and our static labels include the async/finish
+        // instructions themselves. Project to the pairs the paper lists
+        // over S-labels: the dynamic relation must contain exactly the
+        // §2.1 pairs when restricted to pairs of *body* statements, and
+        // must not contain S3 or S0 pairs at all.
+        for (a, b) in examples::example_2_1_expected_pairs() {
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            // (S2, S13) is S2 against the *finish instruction*; all pairs
+            // listed are reachable co-enabled instructions.
+            assert!(
+                got.contains(&(x.to_string(), y.to_string()))
+                    || got.contains(&(y.to_string(), x.to_string())),
+                "missing dynamic pair ({a},{b}); got {got:?}"
+            );
+        }
+        for pr in &got {
+            assert!(pr.0 != "S3" && pr.1 != "S3", "S3 must not run in parallel");
+        }
+    }
+
+    #[test]
+    fn example_2_2_dynamic_excludes_s3_s4() {
+        let p = examples::example_2_2();
+        let e = explore(&p, &[], ExploreConfig::default());
+        assert!(!e.truncated);
+        let got = names(&p, &e.mhp);
+        assert!(
+            !got.contains(&("S3".into(), "S4".into())),
+            "S3 and S4 cannot happen in parallel (the CI false positive)"
+        );
+        for (a, b) in examples::example_2_2_expected_pairs() {
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            assert!(
+                got.contains(&(x.to_string(), y.to_string())),
+                "missing dynamic pair ({a},{b}); got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_asyncs_self_pair() {
+        let p = examples::self_category();
+        let e = explore(&p, &[], ExploreConfig::default());
+        let s1 = p.labels().lookup("S1").unwrap();
+        assert!(
+            e.mhp.contains(&(s1, s1)),
+            "loop async body must self-overlap: {:?}",
+            e.mhp
+        );
+    }
+
+    #[test]
+    fn conclusion_false_positive_is_dynamically_absent() {
+        let p = examples::conclusion_false_positive();
+        let e = explore(&p, &[], ExploreConfig::default());
+        let (s1, s2) = (
+            p.labels().lookup("S1").unwrap(),
+            p.labels().lookup("S2").unwrap(),
+        );
+        let key = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        assert!(
+            !e.mhp.contains(&key),
+            "loop never runs, so (S1,S2) must be dynamically absent"
+        );
+    }
+
+    #[test]
+    fn truncation_reports_lower_bound() {
+        // Infinite loop spawning asyncs: state space unbounded.
+        let p = Program::parse(
+            "def main() { a[0] = 1; while (a[0] != 0) { async { B; } } }",
+        )
+        .unwrap();
+        let e = explore(&p, &[], ExploreConfig { max_states: 500, ..ExploreConfig::default() });
+        assert!(e.truncated);
+        assert!(e.deadlock_free);
+        let b = p.labels().lookup("B").unwrap();
+        assert!(e.mhp.contains(&(b, b)), "self pair must be observed");
+    }
+
+    #[test]
+    fn normalized_exploration_preserves_mhp_and_shrinks_states() {
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::same_category(),
+            examples::add_twice(),
+        ] {
+            let literal = explore(&p, &[], ExploreConfig::default());
+            let normalized = explore(
+                &p,
+                &[],
+                ExploreConfig {
+                    normalize_admin: true,
+                    ..ExploreConfig::default()
+                },
+            );
+            assert_eq!(literal.mhp, normalized.mhp, "MHP must be unchanged");
+            assert_eq!(literal.deadlock_free, normalized.deadlock_free);
+            assert!(
+                normalized.visited <= literal.visited,
+                "normalization cannot grow the space"
+            );
+            assert!(
+                normalized.visited < literal.visited,
+                "these examples all have administrative states"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_normalization_is_idempotent_and_mhp_monotone() {
+        use crate::parallel::parallel;
+        let p = examples::example_2_2();
+        let s = p.body(p.main()).clone();
+
+        // ∥-only elimination preserves parallel() exactly.
+        let par_messy = Tree::par(
+            Tree::par(Tree::Done, Tree::stm(s.clone())),
+            Tree::par(Tree::stm(s.clone()), Tree::Done),
+        );
+        let par_norm = par_messy.clone().normalized();
+        assert_eq!(parallel(&par_messy), parallel(&par_norm));
+
+        // ▷-elimination may only *reveal* pairs (the ones rule (1) would
+        // reach next), never drop them.
+        let messy = Tree::par(
+            Tree::seq(Tree::Done, Tree::stm(s.clone())),
+            Tree::par(Tree::Done, Tree::par(Tree::stm(s), Tree::Done)),
+        );
+        let norm = messy.clone().normalized();
+        assert!(parallel(&messy).is_subset(&parallel(&norm)));
+        assert!(!parallel(&norm).is_empty());
+
+        // Idempotent, smaller, and fully administrative trees collapse.
+        assert_eq!(norm.clone().normalized(), norm);
+        assert!(norm.node_count() < messy.node_count());
+        assert!(Tree::par(Tree::Done, Tree::seq(Tree::Done, Tree::Done))
+            .normalized()
+            .is_done());
+    }
+
+    #[test]
+    fn parallel_explorer_matches_sequential() {
+        for src in [
+            "def main() { async { B; } K; }",
+            "def f() { async { S5; } } def main() { finish { async { S3; } f(); } S2; }",
+        ] {
+            let p = Program::parse(src).unwrap();
+            let seq = explore(&p, &[], ExploreConfig::default());
+            let par = explore_parallel(&p, &[], ExploreConfig::default(), 4);
+            assert_eq!(seq.mhp, par.mhp);
+            assert_eq!(seq.visited, par.visited);
+            assert_eq!(seq.terminals, par.terminals);
+            assert_eq!(seq.deadlock_free, par.deadlock_free);
+        }
+        let p = examples::example_2_1();
+        let seq = explore(&p, &[], ExploreConfig::default());
+        let par = explore_parallel(&p, &[], ExploreConfig::default(), 8);
+        assert_eq!(seq.mhp, par.mhp);
+        assert_eq!(seq.visited, par.visited);
+    }
+
+    #[test]
+    fn ftlabels_front_is_subset_of_mhp_participants() {
+        // Sanity link between parallel() and explored pairs: all labels in
+        // pairs must be real labels of the program.
+        let p = examples::example_2_2();
+        let e = explore(&p, &[], ExploreConfig::default());
+        for &(a, b) in &e.mhp {
+            assert!((a.index()) < p.label_count());
+            assert!((b.index()) < p.label_count());
+            let _ = Label(a.0); // labels round-trip
+        }
+    }
+}

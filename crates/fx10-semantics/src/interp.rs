@@ -1,0 +1,311 @@
+//! An interpreter for FX10: repeatedly picks one enabled transition.
+//!
+//! All nondeterminism in FX10 comes from the interleaving of `∥`; a
+//! [`Scheduler`] resolves it. The interpreter is the executable face of
+//! the calculus — by Theorem 1 it can only stop by completing (`√`) or by
+//! exhausting its step budget, never by deadlock.
+
+use crate::state::ArrayState;
+use crate::step::{initial_tree, successors};
+
+use fx10_syntax::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A policy for choosing among the enabled transitions of a state.
+#[derive(Debug, Clone)]
+pub enum Scheduler {
+    /// Always take the first enabled transition (depth-first into async
+    /// bodies: spawned work runs before its spawner's continuation).
+    Leftmost,
+    /// Always take the last enabled transition (continuations run before
+    /// spawned bodies — an adversarial schedule for async-heavy code).
+    Rightmost,
+    /// Uniform random choice with the given seed (reproducible).
+    Random(u64),
+}
+
+/// The result of running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Final array state.
+    pub array: ArrayState,
+    /// Steps taken.
+    pub steps: u64,
+    /// True when the tree reached `√`; false when the step budget ran out.
+    pub completed: bool,
+}
+
+/// Runs `p` from `(A₀, ⟨s₀⟩)` with the given scheduler and step budget.
+///
+/// `input` initializes the array (padded with zeros). Returns the final
+/// state; `completed` distinguishes termination from budget exhaustion
+/// (FX10 is Turing-complete, so nontermination is possible).
+pub fn run(p: &Program, input: &[i64], scheduler: Scheduler, max_steps: u64) -> RunOutcome {
+    let mut array = ArrayState::with_input(p, input);
+    let mut tree = initial_tree(p);
+    let mut rng = match &scheduler {
+        Scheduler::Random(seed) => Some(StdRng::seed_from_u64(*seed)),
+        _ => None,
+    };
+    let mut steps = 0u64;
+    while !tree.is_done() {
+        if steps >= max_steps {
+            return RunOutcome {
+                array,
+                steps,
+                completed: false,
+            };
+        }
+        let succ = successors(p, &array, &tree);
+        debug_assert!(!succ.is_empty(), "deadlock-freedom violated");
+        let idx = match &scheduler {
+            Scheduler::Leftmost => 0,
+            Scheduler::Rightmost => succ.len() - 1,
+            Scheduler::Random(_) => rng.as_mut().unwrap().gen_range(0..succ.len()),
+        };
+        let chosen = succ.into_iter().nth(idx).unwrap();
+        array = chosen.array;
+        tree = chosen.tree;
+        steps += 1;
+    }
+    RunOutcome {
+        array,
+        steps,
+        completed: true,
+    }
+}
+
+/// Convenience: run to completion with a large budget and return `a[0]`,
+/// or `None` if the budget was exhausted.
+pub fn run_result(p: &Program, input: &[i64], scheduler: Scheduler) -> Option<i64> {
+    let out = run(p, input, scheduler, 10_000_000);
+    out.completed.then(|| out.array.result())
+}
+
+/// As [`run`], but also records the schedule: the index of the chosen
+/// successor at every step. The trace replays bit-for-bit with
+/// [`replay`] — the tool for reproducing a racy execution (e.g. one found
+/// by a random scheduler) deterministically.
+pub fn run_traced(
+    p: &Program,
+    input: &[i64],
+    scheduler: Scheduler,
+    max_steps: u64,
+) -> (RunOutcome, Vec<u32>) {
+    let mut array = ArrayState::with_input(p, input);
+    let mut tree = initial_tree(p);
+    let mut rng = match &scheduler {
+        Scheduler::Random(seed) => Some(StdRng::seed_from_u64(*seed)),
+        _ => None,
+    };
+    let mut steps = 0u64;
+    let mut trace = Vec::new();
+    while !tree.is_done() && steps < max_steps {
+        let succ = successors(p, &array, &tree);
+        let idx = match &scheduler {
+            Scheduler::Leftmost => 0,
+            Scheduler::Rightmost => succ.len() - 1,
+            Scheduler::Random(_) => rng.as_mut().unwrap().gen_range(0..succ.len()),
+        };
+        trace.push(idx as u32);
+        let chosen = succ.into_iter().nth(idx).unwrap();
+        array = chosen.array;
+        tree = chosen.tree;
+        steps += 1;
+    }
+    (
+        RunOutcome {
+            completed: tree.is_done(),
+            array,
+            steps,
+        },
+        trace,
+    )
+}
+
+/// A recorded schedule that does not fit the program's transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Step at which the trace diverged.
+    pub step: u64,
+    /// The invalid choice index.
+    pub choice: u32,
+    /// How many successors the state actually had.
+    pub available: usize,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay diverged at step {}: choice {} of {} successors",
+            self.step, self.choice, self.available
+        )
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Replays a schedule recorded by [`run_traced`]. Stops when the trace is
+/// exhausted (completed = whether the tree reached `√` by then).
+pub fn replay(p: &Program, input: &[i64], trace: &[u32]) -> Result<RunOutcome, ReplayError> {
+    let mut array = ArrayState::with_input(p, input);
+    let mut tree = initial_tree(p);
+    let mut steps = 0u64;
+    for &choice in trace {
+        if tree.is_done() {
+            break;
+        }
+        let succ = successors(p, &array, &tree);
+        if choice as usize >= succ.len() {
+            return Err(ReplayError {
+                step: steps,
+                choice,
+                available: succ.len(),
+            });
+        }
+        let chosen = succ.into_iter().nth(choice as usize).unwrap();
+        array = chosen.array;
+        tree = chosen.tree;
+        steps += 1;
+    }
+    Ok(RunOutcome {
+        completed: tree.is_done(),
+        array,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_syntax::examples;
+
+    #[test]
+    fn straight_line_program_terminates() {
+        let p = Program::parse("def main() { a[0] = 7; }").unwrap();
+        let out = run(&p, &[], Scheduler::Leftmost, 100);
+        assert!(out.completed);
+        assert_eq!(out.array.result(), 7);
+    }
+
+    #[test]
+    fn all_schedulers_agree_on_confluent_program() {
+        // add_twice: a[1] = 1 triggers two bump() calls under a finish;
+        // final a[2] = 2 and a[0] = 0 regardless of interleaving.
+        let p = examples::add_twice();
+        for s in [
+            Scheduler::Leftmost,
+            Scheduler::Rightmost,
+            Scheduler::Random(1),
+            Scheduler::Random(42),
+        ] {
+            let out = run(&p, &[0, 1, 0], s, 100_000);
+            assert!(out.completed);
+            assert_eq!(out.array.get(2), 2);
+            assert_eq!(out.array.result(), 0);
+        }
+    }
+
+    #[test]
+    fn counting_loop_computes_value() {
+        // a[0] := a[1] copies by repeated increment: while(a[1]!=0) is not
+        // directly decrementable, so use a bounded trick: loop once.
+        let p = Program::parse(
+            "def main() {\n\
+               while (a[1] != 0) { a[0] = a[0] + 1; a[1] = 0; }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(run_result(&p, &[10, 5], Scheduler::Leftmost), Some(11));
+        assert_eq!(run_result(&p, &[10, 0], Scheduler::Leftmost), Some(10));
+    }
+
+    #[test]
+    fn nonterminating_program_exhausts_budget() {
+        let p = Program::parse("def main() { a[0] = 1; while (a[0] != 0) { skip; } }").unwrap();
+        let out = run(&p, &[], Scheduler::Leftmost, 1000);
+        assert!(!out.completed);
+        assert_eq!(out.steps, 1000);
+    }
+
+    #[test]
+    fn recursion_via_calls_works() {
+        // f decrements-ish: not expressible; instead test unbounded
+        // recursion halts on budget and bounded call chains complete.
+        let p = Program::parse(
+            "def g() { a[0] = a[0] + 1; }\n\
+             def f() { g(); g(); }\n\
+             def main() { f(); f(); }",
+        )
+        .unwrap();
+        assert_eq!(run_result(&p, &[], Scheduler::Rightmost), Some(4));
+    }
+
+    #[test]
+    fn race_outcome_depends_on_schedule() {
+        // async writes 1, continuation writes 2: both final values are
+        // possible under different schedulers.
+        let p = Program::parse("def main() { async { a[0] = 1; } a[0] = 2; }").unwrap();
+        let left = run_result(&p, &[], Scheduler::Leftmost).unwrap();
+        let right = run_result(&p, &[], Scheduler::Rightmost).unwrap();
+        assert_eq!((left, right), (2, 1));
+    }
+
+    #[test]
+    fn traced_runs_replay_exactly() {
+        let p = examples::add_twice();
+        for sched in [
+            Scheduler::Leftmost,
+            Scheduler::Rightmost,
+            Scheduler::Random(99),
+        ] {
+            let (out, trace) = run_traced(&p, &[0, 1, 0], sched, 100_000);
+            assert!(out.completed);
+            let replayed = replay(&p, &[0, 1, 0], &trace).unwrap();
+            assert_eq!(out, replayed, "replay must be bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_a_racy_outcome() {
+        // Find a schedule where the async writer loses the race, then
+        // reproduce it deterministically.
+        let p = Program::parse("def main() { async { a[0] = 1; } a[0] = 2; }").unwrap();
+        let mut found = None;
+        for seed in 0..64 {
+            let (out, trace) = run_traced(&p, &[], Scheduler::Random(seed), 1000);
+            if out.array.result() == 1 {
+                found = Some(trace);
+                break;
+            }
+        }
+        let trace = found.expect("some schedule ends with a[0] = 1");
+        for _ in 0..3 {
+            assert_eq!(replay(&p, &[], &trace).unwrap().array.result(), 1);
+        }
+    }
+
+    #[test]
+    fn replay_rejects_invalid_traces() {
+        let p = Program::parse("def main() { S1; }").unwrap();
+        let err = replay(&p, &[], &[7]).unwrap_err();
+        assert_eq!(err.step, 0);
+        assert_eq!(err.available, 1);
+        // A short trace simply stops early.
+        let p2 = Program::parse("def main() { S1; S2; }").unwrap();
+        let out = replay(&p2, &[], &[0]).unwrap();
+        assert!(!out.completed);
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn finish_orders_writes() {
+        // Same race wrapped in finish: the async body must complete first.
+        let p = Program::parse("def main() { finish { async { a[0] = 1; } } a[0] = 2; }").unwrap();
+        for s in [Scheduler::Leftmost, Scheduler::Rightmost, Scheduler::Random(7)] {
+            assert_eq!(run_result(&p, &[], s), Some(2));
+        }
+    }
+}

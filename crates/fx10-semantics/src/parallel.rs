@@ -1,0 +1,146 @@
+//! The `FSlabels` / `FTlabels` / `parallel` functions of Figure 3.
+//!
+//! `parallel(T)` is the set of label pairs "executing in parallel right
+//! now" — for each pair, both instructions can take a step in `T`. It is
+//! the paper's yardstick for correctness: the static analysis must
+//! over-approximate `parallel(T)` for every reachable `T` (Theorem 2).
+//!
+//! These functions are defined here (rather than in the analysis crate)
+//! because they are purely semantic: they depend only on trees, not on the
+//! abstract domains. Ground-truth MHP uses simple ordered collections —
+//! exhaustive exploration dominates the cost, not set operations.
+
+use crate::tree::Tree;
+use fx10_syntax::{Label, Stmt};
+use std::collections::BTreeSet;
+
+/// An unordered label pair, stored with the smaller label first.
+pub type LabelPair = (Label, Label);
+
+/// Normalizes an unordered pair.
+#[inline]
+pub fn pair(a: Label, b: Label) -> LabelPair {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// `FSlabels(s)`: the label of the statement's first instruction
+/// (equations 26–32 — always the head's label).
+pub fn fslabels(s: &Stmt) -> Label {
+    s.head().label
+}
+
+/// `FTlabels(T)`: labels of instructions that can execute next
+/// (equations 33–36).
+pub fn ftlabels(t: &Tree) -> BTreeSet<Label> {
+    let mut out = BTreeSet::new();
+    collect_ftlabels(t, &mut out);
+    out
+}
+
+fn collect_ftlabels(t: &Tree, out: &mut BTreeSet<Label>) {
+    match t {
+        Tree::Done => {}
+        // FTlabels(T₁ ▷ T₂) = FTlabels(T₁): the right side is blocked.
+        Tree::Seq(t1, _) => collect_ftlabels(t1, out),
+        Tree::Par(t1, t2) => {
+            collect_ftlabels(t1, out);
+            collect_ftlabels(t2, out);
+        }
+        Tree::Stm(s) => {
+            out.insert(fslabels(s));
+        }
+    }
+}
+
+/// `parallel(T)` (equations 41–44), as a set of unordered pairs.
+///
+/// The paper's definition produces a symmetric relation via `symcross`;
+/// unordered pairs carry the same information.
+pub fn parallel(t: &Tree) -> BTreeSet<LabelPair> {
+    let mut out = BTreeSet::new();
+    collect_parallel(t, &mut out);
+    out
+}
+
+fn collect_parallel(t: &Tree, out: &mut BTreeSet<LabelPair>) {
+    match t {
+        Tree::Done | Tree::Stm(_) => {}
+        // parallel(T₁ ▷ T₂) = parallel(T₁).
+        Tree::Seq(t1, _) => collect_parallel(t1, out),
+        Tree::Par(t1, t2) => {
+            collect_parallel(t1, out);
+            collect_parallel(t2, out);
+            // symcross(FTlabels(T₁), FTlabels(T₂)).
+            let l1 = ftlabels(t1);
+            let l2 = ftlabels(t2);
+            for &a in &l1 {
+                for &b in &l2 {
+                    out.insert(pair(a, b));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_syntax::Program;
+
+    #[test]
+    fn parallel_of_leaf_and_done_is_empty() {
+        let p = Program::parse("def main() { S1; S2; }").unwrap();
+        assert!(parallel(&Tree::Done).is_empty());
+        assert!(parallel(&Tree::stm(p.body(p.main()).clone())).is_empty());
+    }
+
+    #[test]
+    fn par_crosses_front_labels() {
+        let p = Program::parse("def main() { S1; S2; }").unwrap();
+        let s = p.body(p.main());
+        let t = Tree::par(
+            Tree::stm(s.clone()),                  // front label = S1 (label 0)
+            Tree::stm(s.tail().unwrap()),          // front label = S2 (label 1)
+        );
+        let pairs = parallel(&t);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(&(Label(0), Label(1))));
+    }
+
+    #[test]
+    fn seq_hides_right_side() {
+        let p = Program::parse("def main() { S1; S2; }").unwrap();
+        let s = p.body(p.main());
+        let inner = Tree::par(Tree::stm(s.clone()), Tree::stm(s.clone()));
+        let t = Tree::seq(inner.clone(), Tree::stm(s.clone()));
+        assert_eq!(parallel(&t), parallel(&inner));
+        // And FTlabels of the Seq is FTlabels of the left side only.
+        assert_eq!(ftlabels(&t), ftlabels(&inner));
+    }
+
+    #[test]
+    fn self_pair_from_two_copies() {
+        let p = Program::parse("def main() { S1; }").unwrap();
+        let s = p.body(p.main());
+        let t = Tree::par(Tree::stm(s.clone()), Tree::stm(s.clone()));
+        let pairs = parallel(&t);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(&(Label(0), Label(0))), "self pair expected");
+    }
+
+    #[test]
+    fn nested_par_accumulates() {
+        let p = Program::parse("def main() { S1; S2; S3; }").unwrap();
+        let s = p.body(p.main());
+        let t1 = Tree::stm(s.clone()); // front 0
+        let t2 = Tree::stm(s.tail().unwrap()); // front 1
+        let t3 = Tree::stm(s.tail().unwrap().tail().unwrap()); // front 2
+        let t = Tree::par(Tree::par(t1, t2), t3);
+        let pairs = parallel(&t);
+        assert_eq!(pairs.len(), 3); // (0,1), (0,2), (1,2)
+    }
+}

@@ -1,0 +1,312 @@
+//! The transition rules of the small-step semantics.
+//!
+//! [`successors`] enumerates every state reachable in exactly one step from
+//! `(p, A, T)` — rules (1)–(6) for `▷`/`∥` trees and rules (7)–(14)
+//! (Figure 2) for `⟨s⟩` leaves. The enumeration order is deterministic
+//! (rule number, then left-to-right), which schedulers rely on.
+//!
+//! **Lone instructions.** The paper's Figure 2 writes the statement rules
+//! with an explicit continuation `k`; the grammar also allows a lone
+//! instruction (`s ::= i`). We extend the rules to lone instructions in
+//! the evident way — the produced continuation `⟨k⟩` becomes `√`:
+//!
+//! ```text
+//! ⟨a[d]=^l e;⟩        → √                 (with the store updated)
+//! ⟨while^l (…) s⟩     → √                 (guard false)
+//! ⟨while^l (…) s⟩     → ⟨s . while^l (…) s⟩ (guard true)
+//! ⟨async^l s⟩         → ⟨s⟩ ∥ √
+//! ⟨finish^l s⟩        → ⟨s⟩ ▷ √
+//! ⟨f_i()^l⟩           → ⟨s_i⟩
+//! ```
+//!
+//! These agree with rule (7)'s treatment of a lone `skip` and with the
+//! typing of lone instructions used in the paper's Figure 5 example.
+
+use crate::state::ArrayState;
+use crate::tree::Tree;
+use fx10_syntax::{InstrKind, Program, Stmt};
+
+/// One possible transition out of a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Successor {
+    /// The array state after the step.
+    pub array: ArrayState,
+    /// The tree after the step.
+    pub tree: Tree,
+}
+
+/// Enumerates all `(A', T')` with `(p, A, T) → (p, A', T')`.
+///
+/// Returns the empty vector only for `T = √` — Theorem 1 (deadlock
+/// freedom). The exhaustive explorer asserts exactly this on every state
+/// it visits.
+pub fn successors(p: &Program, a: &ArrayState, t: &Tree) -> Vec<Successor> {
+    let mut out = Vec::new();
+    push_successors(p, a, t, &mut out);
+    out
+}
+
+fn push_successors(p: &Program, a: &ArrayState, t: &Tree, out: &mut Vec<Successor>) {
+    match t {
+        Tree::Done => {}
+        Tree::Seq(t1, t2) => {
+            if t1.is_done() {
+                // Rule (1): √ ▷ T₂ → T₂.
+                out.push(Successor {
+                    array: a.clone(),
+                    tree: (**t2).clone(),
+                });
+            } else {
+                // Rule (2): step inside T₁.
+                let mut inner = Vec::new();
+                push_successors(p, a, t1, &mut inner);
+                for s in inner {
+                    out.push(Successor {
+                        array: s.array,
+                        tree: Tree::seq(s.tree, (**t2).clone()),
+                    });
+                }
+            }
+        }
+        Tree::Par(t1, t2) => {
+            // Rule (3): √ ∥ T₂ → T₂.
+            if t1.is_done() {
+                out.push(Successor {
+                    array: a.clone(),
+                    tree: (**t2).clone(),
+                });
+            }
+            // Rule (4): T₁ ∥ √ → T₁.
+            if t2.is_done() {
+                out.push(Successor {
+                    array: a.clone(),
+                    tree: (**t1).clone(),
+                });
+            }
+            // Rule (5): step inside T₁.
+            let mut inner = Vec::new();
+            push_successors(p, a, t1, &mut inner);
+            for s in inner {
+                out.push(Successor {
+                    array: s.array,
+                    tree: Tree::par(s.tree, (**t2).clone()),
+                });
+            }
+            // Rule (6): step inside T₂.
+            inner = Vec::new();
+            push_successors(p, a, t2, &mut inner);
+            for s in inner {
+                out.push(Successor {
+                    array: s.array,
+                    tree: Tree::par((**t1).clone(), s.tree),
+                });
+            }
+        }
+        Tree::Stm(s) => out.push(step_stmt(p, a, s)),
+    }
+}
+
+/// Rules (7)–(14): the unique step of a running statement `⟨s⟩`.
+///
+/// Statements are deterministic — all nondeterminism in FX10 comes from
+/// the `∥` interleaving — so this returns exactly one successor.
+pub fn step_stmt(p: &Program, a: &ArrayState, s: &Stmt) -> Successor {
+    let head = s.head();
+    let tail = s.tail();
+    // `⟨k⟩`, or `√` when the head is the whole statement.
+    let cont = || match &tail {
+        Some(k) => Tree::stm(k.clone()),
+        None => Tree::Done,
+    };
+    match &head.kind {
+        // Rules (7)/(8).
+        InstrKind::Skip => Successor {
+            array: a.clone(),
+            tree: cont(),
+        },
+        // Rule (9).
+        InstrKind::Assign { idx, expr } => {
+            let mut a2 = a.clone();
+            a2.set(*idx, a.eval(expr));
+            Successor {
+                array: a2,
+                tree: cont(),
+            }
+        }
+        // Rules (10)/(11).
+        InstrKind::While { idx, body } => {
+            if a.get(*idx) == 0 {
+                Successor {
+                    array: a.clone(),
+                    tree: cont(),
+                }
+            } else {
+                // ⟨s . (while …) k⟩: unroll one iteration ahead of the
+                // whole while-statement (including its continuation).
+                Successor {
+                    array: a.clone(),
+                    tree: Tree::stm(body.clone().seq(s.clone())),
+                }
+            }
+        }
+        // Rule (12).
+        InstrKind::Async { body } => Successor {
+            array: a.clone(),
+            tree: Tree::par(Tree::stm(body.clone()), cont()),
+        },
+        // Rule (13).
+        InstrKind::Finish { body } => Successor {
+            array: a.clone(),
+            tree: Tree::seq(Tree::stm(body.clone()), cont()),
+        },
+        // Rule (14): ⟨f_i()^l k⟩ → ⟨s_i . k⟩.
+        InstrKind::Call { callee } => {
+            let body = p.body(*callee).clone();
+            let tree = match tail {
+                Some(k) => Tree::stm(body.seq(k)),
+                None => Tree::stm(body),
+            };
+            Successor {
+                array: a.clone(),
+                tree,
+            }
+        }
+    }
+}
+
+/// The initial tree `⟨s₀⟩` where `s₀` is the body of the main method.
+pub fn initial_tree(p: &Program) -> Tree {
+    Tree::stm(p.body(p.main()).clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_syntax::Program;
+
+    fn zeros(p: &Program) -> ArrayState {
+        ArrayState::zeros(p)
+    }
+
+    #[test]
+    fn lone_skip_steps_to_done() {
+        let p = Program::parse("def main() { skip; }").unwrap();
+        let succ = successors(&p, &zeros(&p), &initial_tree(&p));
+        assert_eq!(succ.len(), 1);
+        assert!(succ[0].tree.is_done());
+    }
+
+    #[test]
+    fn assign_updates_store() {
+        let p = Program::parse("def main() { a[1] = 5; a[0] = a[1] + 1; }").unwrap();
+        let s0 = successors(&p, &zeros(&p), &initial_tree(&p));
+        assert_eq!(s0.len(), 1);
+        assert_eq!(s0[0].array.get(1), 5);
+        let s1 = successors(&p, &s0[0].array, &s0[0].tree);
+        assert_eq!(s1[0].array.get(0), 6);
+        assert!(s1[0].tree.is_done());
+    }
+
+    #[test]
+    fn while_false_skips_body() {
+        let p = Program::parse("def main() { while (a[0] != 0) { S; } S2; }").unwrap();
+        let s = successors(&p, &zeros(&p), &initial_tree(&p));
+        assert_eq!(s.len(), 1);
+        // Steps straight to the continuation ⟨S2⟩.
+        match &s[0].tree {
+            Tree::Stm(st) => assert_eq!(st.len(), 1),
+            t => panic!("expected ⟨S2⟩, got {t}"),
+        }
+    }
+
+    #[test]
+    fn while_true_unrolls_body_then_whole_while() {
+        let p = Program::parse("def main() { a[0] = 1; while (a[0] != 0) { a[0] = 0; } S2; }")
+            .unwrap();
+        let t0 = initial_tree(&p);
+        let s = successors(&p, &zeros(&p), &t0); // a[0] = 1
+        let s = successors(&p, &s[0].array, &s[0].tree); // guard true
+        match &s[0].tree {
+            // body (1 instr) . while-stmt (while + S2 = 2 instrs) = 3.
+            Tree::Stm(st) => assert_eq!(st.len(), 3),
+            t => panic!("expected unrolled statement, got {t}"),
+        }
+    }
+
+    #[test]
+    fn async_forks_par_and_finish_forks_seq() {
+        let p = Program::parse("def main() { async { B; } K; }").unwrap();
+        let s = successors(&p, &zeros(&p), &initial_tree(&p));
+        assert!(matches!(s[0].tree, Tree::Par(_, _)));
+
+        let p = Program::parse("def main() { finish { B; } K; }").unwrap();
+        let s = successors(&p, &zeros(&p), &initial_tree(&p));
+        assert!(matches!(s[0].tree, Tree::Seq(_, _)));
+    }
+
+    #[test]
+    fn lone_async_forks_with_done_right() {
+        let p = Program::parse("def main() { async { B; } }").unwrap();
+        let s = successors(&p, &zeros(&p), &initial_tree(&p));
+        match &s[0].tree {
+            Tree::Par(l, r) => {
+                assert!(matches!(**l, Tree::Stm(_)));
+                assert!(r.is_done());
+            }
+            t => panic!("expected ∥, got {t}"),
+        }
+    }
+
+    #[test]
+    fn call_inlines_body_before_continuation() {
+        let p = Program::parse("def f() { B1; B2; } def main() { f(); K; }").unwrap();
+        let s = successors(&p, &zeros(&p), &initial_tree(&p));
+        match &s[0].tree {
+            Tree::Stm(st) => assert_eq!(st.len(), 3), // B1 B2 K
+            t => panic!("expected ⟨s_f . k⟩, got {t}"),
+        }
+    }
+
+    #[test]
+    fn seq_blocks_right_side_until_left_done() {
+        let p = Program::parse("def main() { finish { B; } K; }").unwrap();
+        let a = zeros(&p);
+        let s = successors(&p, &a, &initial_tree(&p));
+        // ⟨B⟩ ▷ ⟨K⟩: only the left side may step.
+        let s2 = successors(&p, &a, &s[0].tree);
+        assert_eq!(s2.len(), 1);
+        match &s2[0].tree {
+            Tree::Seq(l, _) => assert!(l.is_done()),
+            t => panic!("expected ▷, got {t}"),
+        }
+        // √ ▷ ⟨K⟩ → ⟨K⟩ by rule (1).
+        let s3 = successors(&p, &a, &s2[0].tree);
+        assert_eq!(s3.len(), 1);
+        assert!(matches!(s3[0].tree, Tree::Stm(_)));
+    }
+
+    #[test]
+    fn par_interleaves_both_sides() {
+        let p = Program::parse("def main() { async { B; } K; }").unwrap();
+        let a = zeros(&p);
+        let s = successors(&p, &a, &initial_tree(&p));
+        // ⟨B⟩ ∥ ⟨K⟩ can step either side: two successors.
+        let s2 = successors(&p, &a, &s[0].tree);
+        assert_eq!(s2.len(), 2);
+    }
+
+    #[test]
+    fn done_has_no_successors() {
+        let p = Program::parse("def main() { skip; }").unwrap();
+        assert!(successors(&p, &zeros(&p), &Tree::Done).is_empty());
+    }
+
+    #[test]
+    fn par_of_two_dones_offers_both_elimination_rules() {
+        let p = Program::parse("def main() { skip; }").unwrap();
+        let t = Tree::par(Tree::Done, Tree::Done);
+        let s = successors(&p, &zeros(&p), &t);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|x| x.tree.is_done()));
+    }
+}

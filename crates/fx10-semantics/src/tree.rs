@@ -1,0 +1,123 @@
+//! Execution trees (paper §3.3).
+
+use fx10_syntax::Stmt;
+
+/// An execution tree.
+///
+/// Internal nodes are `▷` ([`Tree::Seq`], from `finish`) or `∥`
+/// ([`Tree::Par`], from `async`); leaves are `√` ([`Tree::Done`]) or a
+/// running statement `⟨s⟩` ([`Tree::Stm`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Tree {
+    /// `√` — a completed computation.
+    Done,
+    /// `⟨s⟩` — statement `s` running.
+    Stm(Stmt),
+    /// `T₁ ▷ T₂` — `T₁` must complete before `T₂` proceeds.
+    Seq(Box<Tree>, Box<Tree>),
+    /// `T₁ ∥ T₂` — interleaved parallel execution.
+    Par(Box<Tree>, Box<Tree>),
+}
+
+impl Tree {
+    /// `⟨s⟩`.
+    pub fn stm(s: Stmt) -> Tree {
+        Tree::Stm(s)
+    }
+
+    /// `T₁ ▷ T₂`.
+    pub fn seq(t1: Tree, t2: Tree) -> Tree {
+        Tree::Seq(Box::new(t1), Box::new(t2))
+    }
+
+    /// `T₁ ∥ T₂`.
+    pub fn par(t1: Tree, t2: Tree) -> Tree {
+        Tree::Par(Box::new(t1), Box::new(t2))
+    }
+
+    /// True iff the tree is `√`.
+    pub fn is_done(&self) -> bool {
+        matches!(self, Tree::Done)
+    }
+
+    /// Number of nodes in the tree (for diagnostics and bounds).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Tree::Done | Tree::Stm(_) => 1,
+            Tree::Seq(a, b) | Tree::Par(a, b) => 1 + a.node_count() + b.node_count(),
+        }
+    }
+
+    /// Collapses the administrative `√`-elimination forms:
+    /// `√ ∥ T ≡ T ∥ √ ≡ √ ▷ T ≡ T` (recursively).
+    ///
+    /// Normalization never loses MHP information:
+    /// `parallel(T) ⊆ parallel(T.normalized())`. Eliminating `√` from a
+    /// `∥` preserves `parallel` exactly (rule 43 crosses with
+    /// `FTlabels(√) = ∅`), and eliminating `√ ▷ T₂` only *advances* to
+    /// the state the always-enabled rule (1) reaches next — whose pairs
+    /// the literal exploration collects one step later. Exploring
+    /// normalized states therefore computes the same dynamic MHP union
+    /// over a smaller state space (tested in `explore::tests`).
+    pub fn normalized(self) -> Tree {
+        match self {
+            Tree::Done | Tree::Stm(_) => self,
+            Tree::Seq(a, b) => match a.normalized() {
+                Tree::Done => b.normalized(),
+                a => Tree::seq(a, (*b).normalized()),
+            },
+            Tree::Par(a, b) => match (a.normalized(), b.normalized()) {
+                (Tree::Done, t) | (t, Tree::Done) => t,
+                (a, b) => Tree::par(a, b),
+            },
+        }
+    }
+
+    /// Number of `⟨s⟩` leaves — the current "activities".
+    pub fn activity_count(&self) -> usize {
+        match self {
+            Tree::Done => 0,
+            Tree::Stm(_) => 1,
+            Tree::Seq(a, b) | Tree::Par(a, b) => a.activity_count() + b.activity_count(),
+        }
+    }
+}
+
+impl std::fmt::Display for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tree::Done => write!(f, "√"),
+            Tree::Stm(s) => {
+                write!(f, "⟨")?;
+                let mut first = true;
+                for i in s.instrs() {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    first = false;
+                    write!(f, "{}", i.label)?;
+                }
+                write!(f, "⟩")
+            }
+            Tree::Seq(a, b) => write!(f, "({a} ▷ {b})"),
+            Tree::Par(a, b) => write!(f, "({a} ∥ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_syntax::Program;
+
+    #[test]
+    fn counts_and_display() {
+        let p = Program::parse("def main() { S1; S2; }").unwrap();
+        let t = Tree::par(Tree::stm(p.body(p.main()).clone()), Tree::Done);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.activity_count(), 1);
+        assert!(!t.is_done());
+        assert_eq!(format!("{t}"), "(⟨L0 L1⟩ ∥ √)");
+        assert_eq!(format!("{}", Tree::seq(Tree::Done, Tree::Done)), "(√ ▷ √)");
+    }
+}

@@ -1,0 +1,1119 @@
+//! The 13 synthetic benchmarks (paper §6, Figures 6–9).
+//!
+//! The original X10 sources are unavailable, so each benchmark is
+//! *generated* to match the paper's published structural statistics —
+//! the node-kind counts of Figure 7 (enforced exactly, asserted in tests)
+//! and the async counts/categories of Figure 6 (enforced exactly) — which
+//! are precisely the inputs the constraint generator consumes. Three
+//! structural styles reproduce the paper's qualitative findings:
+//!
+//! - [`Style::Flat`] (the 11 smaller benchmarks): every call site has
+//!   `R = ∅` (calls come first in each body; leaky asyncs only trail
+//!   main), so the context-insensitive analysis produces *identical*
+//!   results — exactly what §7 reports for the 11 small benchmarks.
+//! - [`Style::LoopHeavy`] (plasma): hub methods hold clusters of
+//!   unfinished loop asyncs and call shared utility methods while those
+//!   asyncs are pending; each hub call from main is finish-wrapped. CS
+//!   keeps pairs local to each hub (high *self*/*same*, tiny *diff*);
+//!   CI merges the utilities' call sites and cross-pollinates the hubs
+//!   (the paper's 258 → 2281 blowup, mostly *diff*).
+//! - [`Style::CallHeavy`] (mg): loop asyncs whose bodies call shared
+//!   async-bearing workers from several different loops in different
+//!   methods — high *diff* already under CS (the paper's 204), larger
+//!   still under CI.
+
+use crate::random::Xorshift;
+use fx10_frontend::condensed::{AsyncStats, CAst, CProgram, NodeCounts};
+
+/// The Figure 8 row the paper reports (for EXPERIMENTS.md comparisons).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperFig8 {
+    /// time (ms) on the paper's dual-Xeon testbed.
+    pub time_ms: f64,
+    /// space (MB).
+    pub space_mb: f64,
+    /// Iterations: Slabels, level-1, level-2.
+    pub iters: [usize; 3],
+    /// Async-body pairs: total, self, same, diff.
+    pub pairs: [usize; 4],
+}
+
+/// Structural style of the generated program (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Call sites always see `R = ∅`; CI == CS.
+    Flat,
+    /// Async clusters in hub methods + shared utilities called while
+    /// asyncs are pending (plasma).
+    LoopHeavy,
+    /// Loop asyncs whose bodies call shared async-bearing workers (mg).
+    CallHeavy,
+}
+
+/// One benchmark's published statistics and generation style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name as in the paper.
+    pub name: &'static str,
+    /// Suite (for table grouping).
+    pub suite: &'static str,
+    /// Figure 6 LOC.
+    pub loc: usize,
+    /// Figure 6 async columns.
+    pub asyncs: AsyncStats,
+    /// Figure 7 node counts.
+    pub nodes: NodeCounts,
+    /// Figure 6 constraint counts: Slabels, level-1, level-2.
+    pub paper_constraints: [usize; 3],
+    /// Figure 8 row.
+    pub fig8: PaperFig8,
+    /// Figure 9 CI row (mg and plasma only).
+    pub fig9_ci: Option<PaperFig8>,
+    /// Generation style.
+    pub style: Style,
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the Figure 7 column order
+const fn nodes(
+    end: usize,
+    async_: usize,
+    call: usize,
+    finish: usize,
+    if_: usize,
+    loop_: usize,
+    method: usize,
+    return_: usize,
+    skip: usize,
+    switch: usize,
+) -> NodeCounts {
+    NodeCounts {
+        end,
+        async_,
+        call,
+        finish,
+        if_,
+        loop_,
+        method,
+        return_,
+        skip,
+        switch,
+    }
+}
+
+const fn asyncs(total: usize, loop_asyncs: usize, place_switch: usize) -> AsyncStats {
+    AsyncStats {
+        total,
+        loop_asyncs,
+        place_switch,
+    }
+}
+
+const fn fig8(time_ms: f64, space_mb: f64, iters: [usize; 3], pairs: [usize; 4]) -> PaperFig8 {
+    PaperFig8 {
+        time_ms,
+        space_mb,
+        iters,
+        pairs,
+    }
+}
+
+/// All 13 benchmark specifications, in the paper's table order.
+pub const SPECS: &[BenchmarkSpec] = &[
+    BenchmarkSpec {
+        name: "stream",
+        suite: "HPC challenge",
+        loc: 70,
+        asyncs: asyncs(4, 3, 1),
+        nodes: nodes(23, 4, 5, 4, 3, 10, 20, 21, 36, 0),
+        paper_constraints: [103, 232, 103],
+        fig8: fig8(153.0, 5.0, [3, 2, 2], [5, 4, 1, 0]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "fragstream",
+        suite: "HPC challenge",
+        loc: 73,
+        asyncs: asyncs(4, 3, 1),
+        nodes: nodes(23, 4, 5, 4, 3, 10, 20, 21, 36, 0),
+        paper_constraints: [103, 232, 103],
+        fig8: fig8(158.0, 5.0, [3, 2, 2], [5, 4, 1, 0]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "sor",
+        suite: "Java Grande",
+        loc: 185,
+        asyncs: asyncs(7, 2, 5),
+        nodes: nodes(29, 7, 21, 5, 1, 7, 24, 16, 51, 0),
+        paper_constraints: [132, 298, 132],
+        fig8: fig8(219.0, 6.0, [5, 2, 3], [13, 6, 3, 4]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "series",
+        suite: "Java Grande",
+        loc: 290,
+        asyncs: asyncs(3, 1, 2),
+        nodes: nodes(29, 3, 17, 2, 3, 7, 14, 7, 36, 1),
+        paper_constraints: [90, 224, 90],
+        fig8: fig8(230.0, 9.0, [4, 2, 4], [1, 1, 0, 0]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "sparsemm",
+        suite: "Java Grande",
+        loc: 366,
+        asyncs: asyncs(4, 1, 3),
+        nodes: nodes(28, 4, 25, 3, 0, 16, 32, 27, 66, 0),
+        paper_constraints: [173, 370, 173],
+        fig8: fig8(225.0, 8.0, [4, 2, 3], [3, 2, 1, 0]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "crypt",
+        suite: "Java Grande",
+        loc: 562,
+        asyncs: asyncs(2, 2, 0),
+        nodes: nodes(26, 2, 25, 2, 5, 9, 24, 21, 61, 0),
+        paper_constraints: [149, 326, 149],
+        fig8: fig8(218.0, 8.0, [4, 2, 2], [2, 2, 0, 0]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "moldyn",
+        suite: "Java Grande",
+        loc: 699,
+        asyncs: asyncs(14, 6, 8),
+        nodes: nodes(75, 14, 25, 14, 2, 29, 36, 22, 99, 0),
+        paper_constraints: [241, 596, 241],
+        fig8: fig8(420.0, 24.0, [5, 2, 3], [59, 14, 36, 9]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "linpack",
+        suite: "Java Grande",
+        loc: 781,
+        asyncs: asyncs(8, 3, 5),
+        nodes: nodes(61, 8, 42, 6, 10, 19, 25, 17, 98, 0),
+        paper_constraints: [225, 547, 225],
+        fig8: fig8(331.0, 13.0, [4, 3, 3], [10, 6, 1, 3]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "raytracer",
+        suite: "Java Grande",
+        loc: 1205,
+        asyncs: asyncs(13, 2, 11),
+        nodes: nodes(77, 13, 132, 9, 16, 8, 65, 50, 185, 0),
+        paper_constraints: [478, 1045, 478],
+        fig8: fig8(3105.0, 173.0, [5, 2, 4], [49, 13, 24, 12]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "montecarlo",
+        suite: "Java Grande",
+        loc: 3153,
+        asyncs: asyncs(3, 1, 2),
+        nodes: nodes(60, 3, 80, 3, 2, 6, 83, 39, 129, 0),
+        paper_constraints: [345, 727, 345],
+        fig8: fig8(1403.0, 132.0, [6, 2, 4], [4, 3, 1, 0]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "mg",
+        suite: "NAS",
+        loc: 1858,
+        asyncs: asyncs(57, 37, 20),
+        nodes: nodes(292, 57, 248, 52, 40, 68, 122, 87, 354, 0),
+        paper_constraints: [1028, 2518, 1028],
+        fig8: fig8(5197.0, 196.0, [6, 3, 5], [272, 51, 17, 204]),
+        fig9_ci: Some(fig8(25935.0, 350.0, [6, 17, 5], [681, 52, 23, 606])),
+        style: Style::CallHeavy,
+    },
+    BenchmarkSpec {
+        name: "mapreduce",
+        suite: "in-house",
+        loc: 53,
+        asyncs: asyncs(3, 1, 2),
+        nodes: nodes(12, 3, 5, 2, 0, 3, 8, 4, 15, 0),
+        paper_constraints: [40, 96, 40],
+        fig8: fig8(96.0, 3.0, [3, 2, 3], [1, 1, 0, 0]),
+        fig9_ci: None,
+        style: Style::Flat,
+    },
+    BenchmarkSpec {
+        name: "plasma",
+        suite: "in-house",
+        loc: 4623,
+        asyncs: asyncs(151, 120, 31),
+        nodes: nodes(604, 151, 505, 84, 93, 231, 170, 221, 1140, 1),
+        paper_constraints: [2596, 6230, 2596],
+        fig8: fig8(16476.0, 257.0, [6, 2, 6], [258, 134, 120, 4]),
+        fig9_ci: Some(fig8(167828.0, 1429.0, [6, 14, 6], [2281, 136, 126, 2019])),
+        style: Style::LoopHeavy,
+    },
+];
+
+/// A generated benchmark: the spec plus the condensed program.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The paper's statistics.
+    pub spec: &'static BenchmarkSpec,
+    /// The generated program (node counts match `spec.nodes` exactly).
+    pub program: CProgram,
+}
+
+/// Looks a benchmark up by name and generates it.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    SPECS.iter().find(|s| s.name == name).map(|spec| Benchmark {
+        spec,
+        program: build(spec),
+    })
+}
+
+/// Generates all 13 benchmarks in table order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    SPECS
+        .iter()
+        .map(|spec| Benchmark {
+            spec,
+            program: build(spec),
+        })
+        .collect()
+}
+
+
+/// One group of asyncs for the Flat pair-targeting plan.
+#[derive(Debug, Clone)]
+struct FlatGroup {
+    /// Number of loop-async units in the group.
+    loops: usize,
+    /// Number of place-async units in the group.
+    places: usize,
+    /// Whether the group's host is called from a plain loop (grants a
+    /// *self* pair to every unit in the group).
+    granted: bool,
+}
+
+impl FlatGroup {
+    fn size(&self) -> usize {
+        self.loops + self.places
+    }
+}
+
+/// The Flat generation plan: a decomposition of the paper's published
+/// self/same/diff async-pair counts (Figure 8) into
+///
+/// - *clusters* — k sequential leaky units in one host method, giving
+///   C(k,2) *same* pairs;
+/// - *granted* groups — host called from a plain loop, giving one *self*
+///   pair per unit (loop units self-overlap via their own loop already);
+/// - *regions* — `finish { call A; call B; … }` blocks in main whose
+///   groups' asyncs coexist, giving |A|·|B| (+…) *diff* pairs;
+/// - isolated units — finish-wrapped (or parked at the very end of main),
+///   giving no pairs beyond a loop unit's own self.
+///
+/// Every host is called exactly once and every call site sees `R = ∅`
+/// except the within-region ones (single-site callees), so by the
+/// principal-typing lemma (Lemma 12) the context-insensitive analysis
+/// produces *identical* results — the paper's §7 observation for the 11
+/// small benchmarks.
+#[derive(Debug, Clone)]
+struct FlatPlan {
+    /// Hosted groups, in host-assignment order (clusters first).
+    groups: Vec<FlatGroup>,
+    /// Regions as group indices (disjoint).
+    regions: Vec<Vec<usize>>,
+    /// Isolated loop units (inline `finish { loop { async } }`).
+    isolated_loops: usize,
+    /// Isolated place units (inline `finish { async at }`).
+    isolated_places: usize,
+    /// Whether one isolated unit is parked leaky at the end of main
+    /// instead of consuming a finish (used when the finish budget is
+    /// exactly one short, e.g. series and mapreduce).
+    free_slot: Option<FreeSlot>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FreeSlot {
+    LoopUnit,
+    PlaceUnit,
+}
+
+impl FlatPlan {
+    fn host_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Decomposes the Figure 8 pair targets for a Flat benchmark.
+    fn plan(spec: &BenchmarkSpec) -> FlatPlan {
+        let [_, target_self, target_same, target_diff] = spec.fig8.pairs;
+        let (mut loops, mut places) =
+            (spec.asyncs.loop_asyncs, spec.asyncs.place_switch);
+
+        // 1. Same pairs: greedy C(k,2) clusters, loop units first.
+        let mut groups: Vec<FlatGroup> = Vec::new();
+        let mut same = target_same;
+        while same > 0 {
+            let avail = loops + places;
+            let mut k = 2usize;
+            while (k + 1) * k / 2 <= same && k < avail {
+                k += 1;
+            }
+            assert!(k <= avail, "{}: same target infeasible", spec.name);
+            same -= k * (k - 1) / 2;
+            let take_loops = k.min(loops);
+            loops -= take_loops;
+            places -= k - take_loops;
+            groups.push(FlatGroup {
+                loops: take_loops,
+                places: k - take_loops,
+                granted: false,
+            });
+        }
+
+        // 2. Self pairs: loop units are self by construction; grant the
+        //    remainder via called-from-loop hosts (clusters first — a
+        //    grant covers all of a cluster's place units at once).
+        let mut extra = target_self
+            .checked_sub(spec.asyncs.loop_asyncs)
+            .unwrap_or_else(|| panic!("{}: self below loop asyncs", spec.name));
+        for g in groups.iter_mut() {
+            if g.places > 0 && g.places <= extra {
+                g.granted = true;
+                extra -= g.places;
+            }
+        }
+        let mut single_places = places;
+        let mut granted_singles = 0usize;
+        while extra > 0 && single_places > 0 {
+            granted_singles += 1;
+            single_places -= 1;
+            extra -= 1;
+        }
+        assert_eq!(extra, 0, "{}: self target infeasible", spec.name);
+        for _ in 0..granted_singles {
+            groups.push(FlatGroup {
+                loops: 0,
+                places: 1,
+                granted: true,
+            });
+        }
+
+        // 3. Diff pairs: greedy disjoint regions of hosted groups. An
+        //    ungranted single host is created on demand as a partner.
+        let mut diff = target_diff;
+        let mut used = vec![false; groups.len()];
+        let mut regions: Vec<Vec<usize>> = Vec::new();
+        loop {
+            // Best unused pair with product ≤ diff.
+            let mut best: Option<(usize, usize, usize)> = None;
+            for i in 0..groups.len() {
+                if used[i] {
+                    continue;
+                }
+                for j in (i + 1)..groups.len() {
+                    if used[j] {
+                        continue;
+                    }
+                    let prod = groups[i].size() * groups[j].size();
+                    if prod <= diff && best.is_none_or(|(_, _, p)| prod > p) {
+                        best = Some((i, j, prod));
+                    }
+                }
+                // Pair with a fresh ungranted single if one is spare.
+                if single_places > 0 {
+                    let prod = groups[i].size();
+                    if prod <= diff && best.is_none_or(|(_, _, p)| prod > p) {
+                        best = Some((i, usize::MAX, prod));
+                    }
+                }
+            }
+            match best {
+                Some((i, j, prod)) if diff > 0 => {
+                    used[i] = true;
+                    let j = if j == usize::MAX {
+                        single_places -= 1;
+                        groups.push(FlatGroup {
+                            loops: 0,
+                            places: 1,
+                            granted: false,
+                        });
+                        used.push(true);
+                        groups.len() - 1
+                    } else {
+                        used[j] = true;
+                        j
+                    };
+                    regions.push(vec![i, j]);
+                    diff -= prod;
+                }
+                _ => break,
+            }
+        }
+        // Any residual diff is accepted (recorded in EXPERIMENTS.md);
+        // the shape tests allow a small gap.
+
+        // 4. What's left is isolated.
+        FlatPlan {
+            groups,
+            regions,
+            isolated_loops: loops,
+            isolated_places: single_places,
+            free_slot: None, // decided against the finish budget in build()
+        }
+    }
+
+    /// Finish nodes the plan needs: one per region, one per hosted group
+    /// not in a region (its solo call region), one per isolated unit.
+    fn finishes_needed(&self) -> usize {
+        let in_region: std::collections::HashSet<usize> =
+            self.regions.iter().flatten().copied().collect();
+        self.regions.len() + (self.groups.len() - in_region.len()) + self.isolated_loops
+            + self.isolated_places
+    }
+}
+
+/// Remaining node budget during assembly.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    end: usize,
+    async_loop: usize,
+    async_place: usize,
+    call: usize,
+    finish: usize,
+    if_: usize,
+    loop_: usize,
+    return_: usize,
+    skip: usize,
+    switch: usize,
+}
+
+impl Budget {
+    fn of(spec: &BenchmarkSpec) -> Budget {
+        assert_eq!(
+            spec.asyncs.total,
+            spec.asyncs.loop_asyncs + spec.asyncs.place_switch,
+            "{}: async categories must partition the total",
+            spec.name
+        );
+        assert_eq!(spec.nodes.async_, spec.asyncs.total);
+        Budget {
+            end: spec.nodes.end,
+            async_loop: spec.asyncs.loop_asyncs,
+            async_place: spec.asyncs.place_switch,
+            call: spec.nodes.call,
+            finish: spec.nodes.finish,
+            if_: spec.nodes.if_,
+            loop_: spec.nodes.loop_,
+            return_: spec.nodes.return_,
+            skip: spec.nodes.skip,
+            switch: spec.nodes.switch,
+        }
+    }
+
+    fn take(n: &mut usize) -> bool {
+        if *n > 0 {
+            *n -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Deterministically builds the program for a spec. Node counts are
+/// asserted to match Figure 7 exactly.
+pub fn build(spec: &BenchmarkSpec) -> CProgram {
+    let u = spec.nodes.method;
+    assert!(u >= 2, "{}: need at least main + one worker", spec.name);
+    let mut b = Budget::of(spec);
+    let mut rng = Xorshift::new(
+        spec.name
+            .bytes()
+            .fold(0xfeed_f00d_u64, |h, c| h.wrapping_mul(131).wrapping_add(c as u64)),
+    );
+    let mut bodies: Vec<Vec<CAst>> = vec![Vec::new(); u];
+    let names: Vec<String> = (0..u)
+        .map(|i| if i == 0 { "main".into() } else { format!("f{i}") })
+        .collect();
+
+    // ---- 1. Call graph: every method reachable from main. -----------
+    // Call c targets callee 1 + (c mod (u-1)); the caller is a method
+    // with a strictly smaller "rank" so the graph is acyclic. The first
+    // round of calls comes straight from main (or a chain), guaranteeing
+    // reachability whenever call-budget ≥ u-1.
+    //
+    // Calls are emitted *first* in each body (the Flat invariant: call
+    // sites see R = ∅). Styles add later, R ≠ ∅ call sites on top.
+    // Styles place some calls themselves (inside async bodies / hubs);
+    // reserve those out of the Figure 7 call budget.
+    // Flat benchmarks follow a pair-targeting plan (see FlatPlan).
+    let mut flat_plan = match spec.style {
+        Style::Flat => {
+            let mut plan = FlatPlan::plan(spec);
+            // Use the end-of-main free slot when the finish budget is one
+            // short of the isolation needs.
+            if plan.finishes_needed() > spec.nodes.finish {
+                if plan.isolated_places > 0 {
+                    plan.isolated_places -= 1;
+                    plan.free_slot = Some(FreeSlot::PlaceUnit);
+                } else if plan.isolated_loops > 0 {
+                    plan.isolated_loops -= 1;
+                    plan.free_slot = Some(FreeSlot::LoopUnit);
+                }
+                assert!(
+                    plan.finishes_needed() <= spec.nodes.finish,
+                    "{}: finish budget infeasible",
+                    spec.name
+                );
+            }
+            Some(plan)
+        }
+        _ => None,
+    };
+    let reserved_calls = match spec.style {
+        Style::Flat => flat_plan.as_ref().map_or(0, |p| p.host_count()),
+        Style::LoopHeavy => spec.asyncs.loop_asyncs.div_ceil(3),
+        // One call per region plus the chain links.
+        Style::CallHeavy => spec.asyncs.loop_asyncs.div_ceil(2) + spec.asyncs.place_switch,
+    };
+    let upfront_calls = b.call.saturating_sub(reserved_calls);
+    // CallHeavy workers (the trailing methods) carry leaky asyncs and
+    // must be reached only through the style's region calls — an upfront
+    // call would spill their async labels into a caller's continuation
+    // and blow up the CS diff count far past the paper's.
+    let n_workers_reserved = match spec.style {
+        Style::CallHeavy => spec.asyncs.place_switch.min(u.saturating_sub(2)).max(1),
+        Style::Flat => flat_plan.as_ref().map_or(0, |p| p.host_count()),
+        Style::LoopHeavy => 0,
+    };
+    let upfront_max_callee = u - n_workers_reserved;
+    let mut call_edges: Vec<(usize, usize)> = Vec::new(); // (caller, callee)
+    {
+        let mut c = 0usize;
+        'outer: loop {
+            for callee in 1..upfront_max_callee {
+                if c >= upfront_calls {
+                    break 'outer;
+                }
+                let caller = if c < u - 1 {
+                    // First round: a shallow tree below main.
+                    if callee <= 4 {
+                        0
+                    } else {
+                        1 + (callee - 2) % 4
+                    }
+                } else {
+                    // Later rounds: spread among methods before the callee.
+                    rng.below(callee as u64) as usize
+                };
+                call_edges.push((caller.min(callee - 1), callee));
+                c += 1;
+            }
+            if u == 1 {
+                break;
+            }
+        }
+        b.call -= c;
+    }
+
+    // Reachability check (used to place asyncs only in live methods).
+    let mut reachable = vec![false; u];
+    reachable[0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(caller, callee) in &call_edges {
+            if reachable[caller] && !reachable[callee] {
+                reachable[callee] = true;
+                changed = true;
+            }
+        }
+    }
+
+    for &(caller, callee) in &call_edges {
+        bodies[caller].push(CAst::Call(names[callee].clone()));
+    }
+
+    // ---- 2. Async units per style. -----------------------------------
+    // A loop unit is `loop { async { skip } }`; a place unit is
+    // `async at { skip }`. Bodies may instead call a worker (CallHeavy).
+    let live: Vec<usize> = (1..u).filter(|&i| reachable[i]).collect();
+    let live_or_main = |k: usize, live: &[usize]| -> usize {
+        if live.is_empty() {
+            0
+        } else {
+            live[k % live.len()]
+        }
+    };
+
+    let mut free_unit: Option<CAst> = None;
+    match spec.style {
+        Style::Flat => {
+            // Realize the pair-targeting plan (see FlatPlan docs).
+            let plan = flat_plan.take().expect("flat style has a plan");
+            let host_base = u - plan.host_count();
+
+            let loop_unit = |b: &mut Budget| -> CAst {
+                assert!(Budget::take(&mut b.async_loop), "loop-async budget");
+                assert!(Budget::take(&mut b.loop_), "loop budget");
+                let body = if Budget::take(&mut b.skip) {
+                    vec![CAst::Skip]
+                } else {
+                    vec![]
+                };
+                CAst::Loop(vec![CAst::Async(body, false)])
+            };
+            let place_unit = |b: &mut Budget| -> CAst {
+                assert!(Budget::take(&mut b.async_place), "place-async budget");
+                let body = if Budget::take(&mut b.skip) {
+                    vec![CAst::Skip]
+                } else {
+                    vec![]
+                };
+                CAst::Async(body, true)
+            };
+
+            // Host bodies: the group's units, sequential and leaky.
+            for (gi, g) in plan.groups.iter().enumerate() {
+                let h = host_base + gi;
+                for _ in 0..g.loops {
+                    let unit = loop_unit(&mut b);
+                    bodies[h].push(unit);
+                }
+                for _ in 0..g.places {
+                    let unit = place_unit(&mut b);
+                    bodies[h].push(unit);
+                }
+            }
+
+            // A region entry: the (single) call to the group's host,
+            // loop-wrapped when the group is granted self pairs.
+            let entry = |gi: usize, b: &mut Budget| -> CAst {
+                assert!(Budget::take(&mut b.call), "host-call budget");
+                let call = CAst::Call(names[host_base + gi].clone());
+                if plan.groups[gi].granted {
+                    assert!(Budget::take(&mut b.loop_), "grant-loop budget");
+                    CAst::Loop(vec![call])
+                } else {
+                    call
+                }
+            };
+
+            // Diff regions, then solo regions for the remaining hosts.
+            let mut in_region = vec![false; plan.groups.len()];
+            for region in &plan.regions {
+                let entries: Vec<CAst> =
+                    region.iter().map(|&gi| {
+                        in_region[gi] = true;
+                        entry(gi, &mut b)
+                    }).collect();
+                assert!(Budget::take(&mut b.finish), "region finish budget");
+                bodies[0].push(CAst::Finish(entries));
+            }
+            for (gi, hosted) in in_region.iter().enumerate() {
+                if !hosted {
+                    let e = entry(gi, &mut b);
+                    assert!(Budget::take(&mut b.finish), "solo finish budget");
+                    bodies[0].push(CAst::Finish(vec![e]));
+                }
+            }
+
+            // Isolated units.
+            for _ in 0..plan.isolated_loops {
+                let unit = loop_unit(&mut b);
+                assert!(Budget::take(&mut b.finish), "isolation finish budget");
+                bodies[0].push(CAst::Finish(vec![unit]));
+            }
+            for _ in 0..plan.isolated_places {
+                let unit = place_unit(&mut b);
+                assert!(Budget::take(&mut b.finish), "isolation finish budget");
+                bodies[0].push(CAst::Finish(vec![unit]));
+            }
+            // The free-slot unit is parked at the very end of main after
+            // the leftover calls (step 3) so every call site keeps R = ∅.
+            free_unit = plan.free_slot.map(|slot| match slot {
+                FreeSlot::LoopUnit => loop_unit(&mut b),
+                FreeSlot::PlaceUnit => place_unit(&mut b),
+            });
+        }
+        Style::LoopHeavy => {
+            // Hubs hold *finish-wrapped sub-groups* of ~3 unfinished loop
+            // asyncs each; a shared utility is called in the middle of
+            // each sub-group, while the first units are pending. Under CS
+            // pairs stay local to a sub-group (self per unit, C(3,2) same
+            // per group, ~no diff). Under CI the utility's call sites
+            // merge: every group's pending labels reach every other
+            // group's continuation — the paper's mostly-diff blowup.
+            let n_hubs = live.len().clamp(1, 8).min(live.len());
+            // The shared utility is the *last* method: callers are always
+            // drawn below their callee, so it never calls anyone — its
+            // Slabels stay free of other methods' async labels, keeping
+            // the CS diff count small.
+            let util = live.last().copied().unwrap_or(0);
+            let mut group: Vec<CAst> = Vec::new();
+            let mut k = 0usize;
+            while b.async_loop > 0 {
+                b.async_loop -= 1;
+                assert!(Budget::take(&mut b.loop_));
+                let skip_body = if Budget::take(&mut b.skip) {
+                    vec![CAst::Skip]
+                } else {
+                    vec![]
+                };
+                group.push(CAst::Loop(vec![CAst::Async(skip_body, false)]));
+                // Mid-group utility call: pending asyncs before it, a
+                // continuation after it.
+                if group.len() == 2 {
+                    let hub = live[k % n_hubs];
+                    if hub != util && Budget::take(&mut b.call) {
+                        group.push(CAst::Call(names[util].clone()));
+                    }
+                }
+                if group.len() >= 4 {
+                    let hub = live[k % n_hubs];
+                    if Budget::take(&mut b.finish) {
+                        bodies[hub].push(CAst::Finish(std::mem::take(&mut group)));
+                    } else {
+                        bodies[hub].append(&mut group);
+                    }
+                    k += 1;
+                }
+            }
+            if !group.is_empty() {
+                let hub = live[k % n_hubs];
+                if Budget::take(&mut b.finish) {
+                    bodies[hub].push(CAst::Finish(std::mem::take(&mut group)));
+                } else {
+                    bodies[hub].append(&mut group);
+                }
+            }
+            // Place asyncs: individually finish-wrapped, spread over the
+            // non-hub methods — no extra pairs.
+            let mut k = n_hubs;
+            while b.async_place > 0 {
+                b.async_place -= 1;
+                let skip_body = if Budget::take(&mut b.skip) {
+                    vec![CAst::Skip]
+                } else {
+                    vec![]
+                };
+                let unit = CAst::Async(skip_body, true);
+                // Never into the utility leaf (its Slabels must stay
+                // async-free).
+                let spots: Vec<usize> = live.iter().copied().filter(|&m| m != util).collect();
+                let m = live_or_main(k, &spots);
+                if Budget::take(&mut b.finish) {
+                    bodies[m].push(CAst::Finish(vec![unit]));
+                } else {
+                    bodies[m].push(unit);
+                }
+                k += 1;
+            }
+        }
+        Style::CallHeavy => {
+            // Finish-wrapped *regions* in many different methods:
+            //   finish { loop{async{skip}}  head()  loop{async{skip}} }
+            // where `head` starts a *chain* of worker methods, each with
+            // one leaky place async and a call to the next link. Chain
+            // asyncs leak upward and mutually overlap across methods, so
+            // under CS each region contributes self pairs, one same pair,
+            // and many *diff* pairs — mg's diff-dominated profile
+            // (Figure 8: 272 = 51 self / 17 same / 204 diff). Under CI
+            // the chain heads' call sites merge and region i's asyncs
+            // reach region j's continuation: a further, mostly-diff
+            // blowup (Figure 9).
+            let n_chain = spec.asyncs.place_switch.min(u.saturating_sub(2)).max(1);
+            let chain_start = u - n_chain;
+            let n_heads = n_chain.min(3);
+            let mut k = 0usize;
+            #[allow(clippy::needless_range_loop)] // m names methods, not slots
+            for m in chain_start..u {
+                if b.async_place == 0 {
+                    break;
+                }
+                b.async_place -= 1;
+                let skip_body = if Budget::take(&mut b.skip) {
+                    vec![CAst::Skip]
+                } else {
+                    vec![]
+                };
+                bodies[m].push(CAst::Async(skip_body, true));
+                let next = m + n_heads;
+                if next < u && Budget::take(&mut b.call) {
+                    bodies[m].push(CAst::Call(names[next].clone()));
+                }
+            }
+            // Leftover place asyncs (more asyncs than spare methods) go
+            // to the chain heads.
+            while b.async_place > 0 {
+                b.async_place -= 1;
+                let skip_body = if Budget::take(&mut b.skip) {
+                    vec![CAst::Skip]
+                } else {
+                    vec![]
+                };
+                bodies[chain_start + k % n_heads].push(CAst::Async(skip_body, true));
+                k += 1;
+            }
+            let workers: Vec<usize> = (chain_start..chain_start + n_heads).collect();
+            let hosts: Vec<usize> = live
+                .iter()
+                .filter(|&&m| m < chain_start)
+                .copied()
+                .chain(std::iter::once(0))
+                .collect();
+            let mut region: Vec<CAst> = Vec::new();
+            let mut k = 0usize;
+            while b.async_loop > 0 {
+                b.async_loop -= 1;
+                assert!(Budget::take(&mut b.loop_));
+                let skip_body = if Budget::take(&mut b.skip) {
+                    vec![CAst::Skip]
+                } else {
+                    vec![]
+                };
+                region.push(CAst::Loop(vec![CAst::Async(skip_body, false)]));
+                if region.len() == 1 {
+                    // Call the worker with asyncs pending and a
+                    // continuation (the second unit) to follow.
+                    let w = workers[k % workers.len()];
+                    let host = hosts[k % hosts.len()];
+                    if host != w && Budget::take(&mut b.call) {
+                        region.push(CAst::Call(names[w].clone()));
+                    }
+                }
+                if region.len() >= 3 {
+                    let host = hosts[k % hosts.len()];
+                    if Budget::take(&mut b.finish) {
+                        bodies[host].push(CAst::Finish(std::mem::take(&mut region)));
+                    } else {
+                        bodies[host].append(&mut region);
+                    }
+                    k += 1;
+                }
+            }
+            if !region.is_empty() {
+                let host = hosts[k % hosts.len()];
+                if Budget::take(&mut b.finish) {
+                    bodies[host].push(CAst::Finish(std::mem::take(&mut region)));
+                } else {
+                    bodies[host].append(&mut region);
+                }
+            }
+        }
+    }
+
+    // ---- 3. Remaining calls (styles may have consumed some). --------
+    while Budget::take(&mut b.call) {
+        let callee = 1 + rng.below((upfront_max_callee - 1) as u64) as usize;
+        let caller = rng.below(callee as u64) as usize;
+        // Appending keeps acyclicity; R may be non-empty here for the
+        // non-Flat styles only (Flat consumed its call budget up front).
+        bodies[caller].push(CAst::Call(names[callee].clone()));
+    }
+
+    // The Flat free-slot unit goes after every call in main: leaky, but
+    // at a point where nothing follows except call-free filler.
+    if let Some(unit) = free_unit.take() {
+        bodies[0].push(unit);
+    }
+
+    // ---- 4. Structural filler: ifs, switches, plain loops, finishes. -
+    // Bodies draw from the skip budget when available so the shapes are
+    // not degenerate; every branch construct consumes exactly its node.
+    let mut spread = 0usize;
+    let filler_skip = |b: &mut Budget| -> Vec<CAst> {
+        if Budget::take(&mut b.skip) {
+            vec![CAst::Skip]
+        } else {
+            vec![]
+        }
+    };
+    while b.if_ > 0 {
+        b.if_ -= 1;
+        let then_ = filler_skip(&mut b);
+        let else_ = filler_skip(&mut b);
+        let m = spread % u;
+        spread += 1;
+        bodies[m].push(CAst::If(then_, else_));
+    }
+    while b.switch > 0 {
+        b.switch -= 1;
+        let cases = vec![filler_skip(&mut b), filler_skip(&mut b)];
+        let m = spread % u;
+        spread += 1;
+        bodies[m].push(CAst::Switch(cases));
+    }
+    while b.loop_ > 0 {
+        b.loop_ -= 1;
+        let body = filler_skip(&mut b);
+        let m = spread % u;
+        spread += 1;
+        bodies[m].push(CAst::Loop(body));
+    }
+    while b.finish > 0 {
+        b.finish -= 1;
+        let body = filler_skip(&mut b);
+        let m = spread % u;
+        spread += 1;
+        bodies[m].push(CAst::Finish(body));
+    }
+
+    // ---- 5. Flat filler: skips, ends, returns. ------------------------
+    let mut m = 0usize;
+    while Budget::take(&mut b.skip) {
+        bodies[m % u].push(CAst::Skip);
+        m += 1;
+    }
+    while Budget::take(&mut b.end) {
+        bodies[m % u].push(CAst::End);
+        m += 1;
+    }
+    // Returns go last in as many distinct methods as possible.
+    let mut m = u;
+    while Budget::take(&mut b.return_) {
+        m = if m == 0 { u - 1 } else { m - 1 };
+        bodies[m].push(CAst::Return);
+    }
+
+    let program = CProgram::new(
+        names.into_iter().zip(bodies).collect(),
+        spec.loc, // report the paper's LOC for the Figure 6 table
+    )
+    .expect("generated benchmark must assemble");
+
+    // The contract: Figure 7 exactly.
+    debug_assert_eq!(
+        program.node_counts(),
+        spec.nodes,
+        "{}: generated node counts diverge",
+        spec.name
+    );
+    debug_assert_eq!(program.async_stats(), spec.asyncs, "{}", spec.name);
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_core::analysis::SolverKind;
+    use fx10_core::Mode;
+    use fx10_frontend::gen::{analyze_condensed, async_pairs_condensed};
+
+    #[test]
+    fn all_13_build_with_exact_figure7_counts() {
+        for bm in all_benchmarks() {
+            assert_eq!(
+                bm.program.node_counts(),
+                bm.spec.nodes,
+                "{}: node counts",
+                bm.spec.name
+            );
+            assert_eq!(
+                bm.program.async_stats(),
+                bm.spec.asyncs,
+                "{}: async stats",
+                bm.spec.name
+            );
+            assert_eq!(bm.program.node_counts().total(), bm.spec.nodes.total());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = benchmark("moldyn").unwrap();
+        let b = benchmark("moldyn").unwrap();
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn small_benchmarks_have_identical_ci_results() {
+        // §7: "For the 11 smallest benchmarks ... we got the exact same
+        // results."
+        for bm in all_benchmarks() {
+            if bm.spec.style != Style::Flat {
+                continue;
+            }
+            let cs = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Naive);
+            let ci = analyze_condensed(
+                &bm.program,
+                Mode::ContextInsensitive { keep_scross: true },
+                SolverKind::Naive,
+            );
+            assert_eq!(
+                cs.mhp(),
+                ci.mhp(),
+                "{}: CI must equal CS on flat benchmarks",
+                bm.spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn mg_and_plasma_show_ci_blowup() {
+        // Figure 9: only mg and plasma produce additional pairs under CI,
+        // mostly in the diff category.
+        for name in ["mg", "plasma"] {
+            let bm = benchmark(name).unwrap();
+            let cs = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Naive);
+            let ci = analyze_condensed(
+                &bm.program,
+                Mode::ContextInsensitive { keep_scross: true },
+                SolverKind::Naive,
+            );
+            let rep_cs = async_pairs_condensed(&cs);
+            let rep_ci = async_pairs_condensed(&ci);
+            assert!(
+                rep_ci.total() > rep_cs.total(),
+                "{name}: CI {} must exceed CS {}",
+                rep_ci.total(),
+                rep_cs.total()
+            );
+            assert!(
+                rep_ci.diff_method > rep_cs.diff_method,
+                "{name}: the blowup is mostly diff pairs"
+            );
+        }
+    }
+
+    #[test]
+    fn plasma_is_self_and_same_dominated_under_cs() {
+        let bm = benchmark("plasma").unwrap();
+        let cs = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Naive);
+        let rep = async_pairs_condensed(&cs);
+        assert!(rep.self_pairs >= 100, "plasma self: {}", rep.self_pairs);
+        assert!(
+            rep.diff_method < rep.self_pairs / 4,
+            "plasma diff must stay small: {rep:?}"
+        );
+    }
+
+    #[test]
+    fn mg_is_diff_dominated_under_cs() {
+        let bm = benchmark("mg").unwrap();
+        let cs = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Naive);
+        let rep = async_pairs_condensed(&cs);
+        assert!(
+            rep.diff_method > rep.same_method,
+            "mg is diff-dominated: {rep:?}"
+        );
+        assert!(rep.diff_method >= 20, "mg diff: {}", rep.diff_method);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        assert!(benchmark("nope").is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! # fx10-suite
+//!
+//! Synthetic reproductions of the paper's 13 benchmarks (§6) plus random
+//! program generators used by property tests and scaling benches.
+//!
+//! See DESIGN.md §2 for the substitution rationale: the real X10 sources
+//! are not available, so each benchmark is generated to match the paper's
+//! published *structural statistics* — async counts and categories
+//! (Figure 6) and node-kind counts (Figure 7) — which are the only inputs
+//! the analysis consumes.
+
+
+#![warn(missing_docs)]
+pub mod benchmarks;
+pub mod random;
+
+pub use benchmarks::{all_benchmarks, benchmark, Benchmark, BenchmarkSpec, SPECS};
+pub use random::{random_condensed, random_fx10, random_fx10_loop_free, RandomConfig};

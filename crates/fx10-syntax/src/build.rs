@@ -1,0 +1,105 @@
+//! Programmatic AST construction.
+//!
+//! [`Ast`] is an unlabeled pre-AST; labels are assigned when the nodes are
+//! assembled into a [`Program`](crate::Program) via
+//! [`Program::from_ast`](crate::Program::from_ast). Generators (random
+//! programs, the benchmark suite) build `Ast` values; hand-written programs
+//! usually use the [parser](crate::parser) instead.
+//!
+//! ```
+//! use fx10_syntax::build::{async_, finish, named, call};
+//! use fx10_syntax::Program;
+//!
+//! let p = Program::from_ast(vec![
+//!     ("f".into(), vec![async_(vec![named("S5")])]),
+//!     ("main".into(), vec![
+//!         finish(vec![async_(vec![named("S3")]), call("f")]),
+//!     ]),
+//! ]).unwrap();
+//! assert_eq!(p.label_count(), 6);
+//! ```
+
+use crate::ast::Expr;
+
+/// An unlabeled instruction, optionally carrying a user-visible name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ast {
+    pub(crate) kind: AstKind,
+    pub(crate) name: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum AstKind {
+    Skip,
+    Assign(usize, Expr),
+    While(usize, Vec<Ast>),
+    Async(Vec<Ast>),
+    Finish(Vec<Ast>),
+    Call(String),
+}
+
+impl Ast {
+    fn new(kind: AstKind) -> Self {
+        Ast { kind, name: None }
+    }
+
+    /// Attaches a user-visible name (e.g. `"S1"`) to this instruction's
+    /// label.
+    pub fn label(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+/// `skip;`
+pub fn skip() -> Ast {
+    Ast::new(AstKind::Skip)
+}
+
+/// A named `skip;` — the shorthand the paper's examples use for opaque
+/// statements like `S1`.
+pub fn named(name: impl Into<String>) -> Ast {
+    skip().label(name)
+}
+
+/// `a[idx] = expr;`
+pub fn assign(idx: usize, expr: Expr) -> Ast {
+    Ast::new(AstKind::Assign(idx, expr))
+}
+
+/// `while (a[idx] != 0) { body }`
+pub fn while_(idx: usize, body: Vec<Ast>) -> Ast {
+    Ast::new(AstKind::While(idx, body))
+}
+
+/// `async { body }`
+pub fn async_(body: Vec<Ast>) -> Ast {
+    Ast::new(AstKind::Async(body))
+}
+
+/// `finish { body }`
+pub fn finish(body: Vec<Ast>) -> Ast {
+    Ast::new(AstKind::Finish(body))
+}
+
+/// `callee();`
+pub fn call(callee: impl Into<String>) -> Ast {
+    Ast::new(AstKind::Call(callee.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program;
+
+    #[test]
+    fn builder_names_round_trip() {
+        let p = Program::from_ast(vec![(
+            "main".into(),
+            vec![named("S1"), async_(vec![skip().label("S2")])],
+        )])
+        .unwrap();
+        assert_eq!(p.labels().lookup("S1").map(|l| l.0), Some(0));
+        assert_eq!(p.labels().lookup("S2").map(|l| l.0), Some(2));
+    }
+}

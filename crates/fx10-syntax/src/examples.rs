@@ -1,0 +1,250 @@
+//! The paper's example programs (§2.1, §2.2) plus a few classic FX10
+//! programs used across tests, examples and benchmarks.
+
+use crate::ast::Program;
+
+/// The §2.1 intraprocedural example (from Agarwal et al., PPoPP'07,
+/// Figure 4, with the paper's modifications), reconstructed from the
+/// constraint system of Figure 5:
+///
+/// ```text
+/// def main() {
+///   S0: finish {
+///     S1: async {
+///       S13: finish {
+///         S5: skip;
+///         S6: async { S11: skip; }
+///         S7: async { S12: skip; }
+///       }
+///       S8: skip;
+///     }
+///     S2: skip;
+///   }
+///   S3: skip;
+/// }
+/// ```
+///
+/// The paper's analysis result — which is also the *best possible* MHP
+/// information — is: `S2 × {S5, S6, S7, S8, S11, S12, S13}`, `S11 × S12`,
+/// and `S7 × S11`, and nothing else (§2.1, §5.4).
+pub fn example_2_1() -> Program {
+    Program::parse(
+        "def main() {\n\
+           S0: finish {\n\
+             S1: async {\n\
+               S13: finish {\n\
+                 S5: skip;\n\
+                 S6: async { S11: skip; }\n\
+                 S7: async { S12: skip; }\n\
+               }\n\
+               S8: skip;\n\
+             }\n\
+             S2: skip;\n\
+           }\n\
+           S3: skip;\n\
+         }",
+    )
+    .expect("example 2.1 must parse")
+}
+
+/// The pairs of label names the paper reports for [`example_2_1`]
+/// (unordered, by label name).
+pub fn example_2_1_expected_pairs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("S2", "S5"),
+        ("S2", "S6"),
+        ("S2", "S7"),
+        ("S2", "S8"),
+        ("S2", "S11"),
+        ("S2", "S12"),
+        ("S2", "S13"),
+        ("S11", "S12"),
+        ("S7", "S11"),
+    ]
+}
+
+/// The §2.2 modular/interprocedural example:
+///
+/// ```text
+/// void f() { async S5 }
+/// void main() {
+///   S1: finish { async S3  f() }
+///   S2: finish { f()  async S4 }
+/// }
+/// ```
+///
+/// Label names: `A3`/`A4`/`A5` are the async instructions with bodies
+/// `S3`/`S4`/`S5`; `F1`/`F2` are the two call sites.
+///
+/// The context-sensitive result (§2.2): S5 MHP with each of S3, `async S4`
+/// (= A4) and S4; S3 MHP with the first call `f()` (= F1) and with
+/// `async S5` (= A5); nothing else. In particular S3 and S4 *cannot*
+/// happen in parallel — the context-insensitive analysis reports the
+/// spurious pair (S3, S4) (§7).
+pub fn example_2_2() -> Program {
+    Program::parse(
+        "def f() { A5: async { S5: skip; } }\n\
+         def main() {\n\
+           S1: finish { A3: async { S3: skip; } F1: f(); }\n\
+           S2: finish { F2: f(); A4: async { S4: skip; } }\n\
+         }",
+    )
+    .expect("example 2.2 must parse")
+}
+
+/// The pairs of label names the paper reports for [`example_2_2`]
+/// under the context-sensitive analysis.
+pub fn example_2_2_expected_pairs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("S3", "F1"),
+        ("S3", "A5"),
+        ("S3", "S5"),
+        ("S5", "A4"),
+        ("S5", "S4"),
+    ]
+}
+
+/// The extra (spurious) pairs the context-insensitive analysis adds on
+/// [`example_2_2`]: merging call-site information makes S3 appear live at
+/// the end of the second call, pairing it with `async S4` and S4
+/// (paper §7).
+pub fn example_2_2_ci_extra_pairs() -> Vec<(&'static str, &'static str)> {
+    vec![("S3", "A4"), ("S3", "S4")]
+}
+
+/// The conclusion's loop false-positive pattern:
+///
+/// ```text
+/// while (...) { async S1 }
+/// async S2
+/// ```
+///
+/// With `a[0] = 0` the loop never executes, so S1 and S2 can never happen
+/// in parallel, yet the analysis (which assumes loop bodies run ≥ 2 times)
+/// reports (S1, S2) — the one false-positive shape the paper identifies
+/// (§8).
+pub fn conclusion_false_positive() -> Program {
+    Program::parse(
+        "def main() {\n\
+           a[0] = 0;\n\
+           while (a[0] != 0) { A1: async { S1: skip; } }\n\
+           A2: async { S2: skip; }\n\
+         }",
+    )
+    .expect("conclusion example must parse")
+}
+
+/// The §6 *self*-category scenario: an async in a loop without a wrapping
+/// finish, so the body may happen in parallel with itself.
+/// The loop runs exactly twice (a two-step countdown through negative
+/// sentinels), so the self-overlap is dynamically real, not just a static
+/// over-approximation.
+pub fn self_category() -> Program {
+    Program::parse(
+        "def main() {\n\
+           a[0] = 1;\n\
+           a[1] = -2;\n\
+           a[2] = -2;\n\
+           while (a[0] != 0) {\n\
+             A: async { S1: skip; }\n\
+             a[0] = a[1] + 1;\n\
+             a[1] = a[2] + 1;\n\
+           }\n\
+         }",
+    )
+    .expect("self-category example must parse")
+}
+
+/// The §6 *same*-category scenario:
+///
+/// ```text
+/// while (...) { async { finish async S1  finish async S2 } }
+/// ```
+///
+/// S1 and S2 may happen in parallel because separate loop iterations run
+/// in parallel, even though each iteration orders S1 before S2.
+/// As in [`self_category`], the loop runs exactly twice so separate
+/// iterations really do overlap.
+pub fn same_category() -> Program {
+    Program::parse(
+        "def main() {\n\
+           a[0] = 1;\n\
+           a[1] = -2;\n\
+           a[2] = -2;\n\
+           while (a[0] != 0) {\n\
+             A: async {\n\
+               finish { B1: async { S1: skip; } }\n\
+               finish { B2: async { S2: skip; } }\n\
+             }\n\
+             a[0] = a[1] + 1;\n\
+             a[1] = a[2] + 1;\n\
+           }\n\
+         }",
+    )
+    .expect("same-category example must parse")
+}
+
+/// A terminating compute kernel: doubles `a[1]` into `a[2]` using
+/// async-parallel increments guarded by a finish, then signals completion
+/// in `a[0]`. Exercises assignment, while, async, finish and calls
+/// together; used by interpreter tests.
+pub fn add_twice() -> Program {
+    Program::parse(
+        "def bump() { a[2] = a[2] + 1; }\n\
+         def main() {\n\
+           a[0] = 1;\n\
+           finish {\n\
+             while (a[1] != 0) {\n\
+               async { bump(); bump(); }\n\
+               a[1] = 0;\n\
+             }\n\
+           }\n\
+           a[0] = 0;\n\
+         }",
+    )
+    .expect("add_twice must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn examples_parse_and_have_expected_labels() {
+        let p = example_2_1();
+        for name in [
+            "S0", "S1", "S2", "S3", "S5", "S6", "S7", "S8", "S11", "S12", "S13",
+        ] {
+            assert!(p.labels().lookup(name).is_some(), "missing {name}");
+        }
+        assert_eq!(p.label_count(), 11);
+
+        let p = example_2_2();
+        for name in ["S1", "S2", "S3", "S4", "S5", "A3", "A4", "A5", "F1", "F2"] {
+            assert!(p.labels().lookup(name).is_some(), "missing {name}");
+        }
+        assert_eq!(p.label_count(), 10);
+
+        conclusion_false_positive();
+        self_category();
+        same_category();
+        add_twice();
+    }
+
+    #[test]
+    fn expected_pairs_reference_existing_labels() {
+        let p = example_2_1();
+        for (a, b) in example_2_1_expected_pairs() {
+            assert!(p.labels().lookup(a).is_some());
+            assert!(p.labels().lookup(b).is_some());
+        }
+        let p = example_2_2();
+        for (a, b) in example_2_2_expected_pairs()
+            .into_iter()
+            .chain(example_2_2_ci_extra_pairs())
+        {
+            assert!(p.labels().lookup(a).is_some());
+            assert!(p.labels().lookup(b).is_some());
+        }
+    }
+}

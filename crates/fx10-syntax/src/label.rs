@@ -1,0 +1,91 @@
+//! Statement labels.
+//!
+//! The paper attaches a label `l` to every instruction; labels "have no
+//! impact on computation but are convenient for our may-happen-in-parallel
+//! analysis" (§3.2). We assign labels densely in program order so that label
+//! sets can be dense bitsets and label-indexed tables can be plain `Vec`s.
+
+/// A statement label: a dense index in `0..Program::label_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The label's dense index, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Maps dense labels back to human-readable names ("S1", "S2", ...).
+///
+/// Names come from the surface syntax (`S3: skip;` or the bare-identifier
+/// shorthand `S3;`); unnamed instructions render as `L<index>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelTable {
+    names: Vec<Option<String>>,
+}
+
+impl LabelTable {
+    pub(crate) fn with_len(n: usize) -> Self {
+        LabelTable {
+            names: vec![None; n],
+        }
+    }
+
+    pub(crate) fn set(&mut self, l: Label, name: String) {
+        self.names[l.index()] = Some(name);
+    }
+
+    /// Number of labels in the table.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The user-supplied name of `l`, if any.
+    pub fn name(&self, l: Label) -> Option<&str> {
+        self.names.get(l.index()).and_then(|n| n.as_deref())
+    }
+
+    /// A printable name: the user name if present, otherwise `L<index>`.
+    pub fn display(&self, l: Label) -> String {
+        match self.name(l) {
+            Some(n) => n.to_string(),
+            None => format!("{l}"),
+        }
+    }
+
+    /// Find a label by its user-supplied name.
+    pub fn lookup(&self, name: &str) -> Option<Label> {
+        self.names
+            .iter()
+            .position(|n| n.as_deref() == Some(name))
+            .map(|i| Label(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefers_user_name() {
+        let mut t = LabelTable::with_len(2);
+        t.set(Label(1), "S7".to_string());
+        assert_eq!(t.display(Label(0)), "L0");
+        assert_eq!(t.display(Label(1)), "S7");
+        assert_eq!(t.lookup("S7"), Some(Label(1)));
+        assert_eq!(t.lookup("S8"), None);
+    }
+}

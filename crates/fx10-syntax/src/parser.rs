@@ -1,0 +1,537 @@
+//! Concrete syntax for FX10.
+//!
+//! The grammar mirrors the paper's abstract syntax plus the labeling and
+//! naming conventions its examples use:
+//!
+//! ```text
+//! program ::= def*
+//! def     ::= "def" ident "(" ")" block
+//! block   ::= "{" stmt* "}"
+//! stmt    ::= [ident ":"] instr
+//! instr   ::= "skip" ";"
+//!           | ident ";"                        // named skip shorthand: `S1;`
+//!           | "a" "[" num "]" "=" expr ";"
+//!           | "while" "(" "a" "[" num "]" "!=" "0" ")" block
+//!           | "async" block
+//!           | "finish" block
+//!           | ident "(" ")" ";"
+//! expr    ::= num | "a" "[" num "]" "+" "1"
+//! ```
+//!
+//! Line comments start with `//`. An empty block parses as a single `skip`
+//! (the grammar requires non-empty statements).
+
+use crate::ast::{Expr, Program};
+use crate::build::{assign, async_, call, finish, skip, while_, Ast};
+use crate::ValidateError;
+
+/// A parse or validation failure, with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the error was detected (0 when the error
+    /// is program-level, e.g. a call to an unknown method).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ValidateError> for ParseError {
+    fn from(e: ValidateError) -> Self {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    Semi,
+    Colon,
+    Eq,
+    Neq,
+    Plus,
+    Minus,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(n) => write!(f, "`{n}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrack => write!(f, "`[`"),
+            Tok::RBrack => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Neq => write!(f, "`!=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: "unexpected `/` (comments are `//`)".into(),
+                    });
+                }
+            }
+            '{' => {
+                chars.next();
+                out.push((Tok::LBrace, line));
+            }
+            '}' => {
+                chars.next();
+                out.push((Tok::RBrace, line));
+            }
+            '(' => {
+                chars.next();
+                out.push((Tok::LParen, line));
+            }
+            ')' => {
+                chars.next();
+                out.push((Tok::RParen, line));
+            }
+            '[' => {
+                chars.next();
+                out.push((Tok::LBrack, line));
+            }
+            ']' => {
+                chars.next();
+                out.push((Tok::RBrack, line));
+            }
+            ';' => {
+                chars.next();
+                out.push((Tok::Semi, line));
+            }
+            ':' => {
+                chars.next();
+                out.push((Tok::Colon, line));
+            }
+            '+' => {
+                chars.next();
+                out.push((Tok::Plus, line));
+            }
+            '-' => {
+                chars.next();
+                out.push((Tok::Minus, line));
+            }
+            '=' => {
+                chars.next();
+                out.push((Tok::Eq, line));
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Tok::Neq, line));
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0i64;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n * 10 + v as i64;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Num(n), line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(s), line));
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|&(_, l)| l)
+            .unwrap_or(1)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                message: format!("expected {want}, found {t}"),
+            }),
+            None => Err(self.err(format!("expected {want}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                message: format!("expected identifier, found {t}"),
+            }),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn expect_num(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(n),
+            Some(t) => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                message: format!("expected number, found {t}"),
+            }),
+            None => Err(self.err("expected number, found end of input")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<(String, Vec<Ast>)>, ParseError> {
+        let mut methods = Vec::new();
+        while self.peek().is_some() {
+            match self.next() {
+                Some(Tok::Ident(kw)) if kw == "def" => {}
+                _ => {
+                    return Err(ParseError {
+                        line: self.toks[self.pos.saturating_sub(1)].1,
+                        message: "expected `def`".into(),
+                    })
+                }
+            }
+            let name = self.expect_ident()?;
+            self.expect(Tok::LParen)?;
+            self.expect(Tok::RParen)?;
+            let body = self.block()?;
+            methods.push((name, body));
+        }
+        Ok(methods)
+    }
+
+    fn block(&mut self) -> Result<Vec<Ast>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated block: expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    /// `a [ num ]` with the leading `a` already consumed by the caller.
+    fn array_index(&mut self) -> Result<usize, ParseError> {
+        self.expect(Tok::LBrack)?;
+        let d = self.expect_num()?;
+        if d < 0 {
+            return Err(self.err("array index must be a natural number"));
+        }
+        self.expect(Tok::RBrack)?;
+        Ok(d as usize)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Minus) => {
+                let c = self.expect_num()?;
+                Ok(Expr::Const(-c))
+            }
+            Some(Tok::Num(c)) => Ok(Expr::Const(c)),
+            Some(Tok::Ident(a)) if a == "a" => {
+                let d = self.array_index()?;
+                self.expect(Tok::Plus)?;
+                let one = self.expect_num()?;
+                if one != 1 {
+                    return Err(self.err("only `a[d] + 1` is allowed"));
+                }
+                Ok(Expr::Plus1(d))
+            }
+            _ => Err(self.err("expected expression: a constant or `a[d] + 1`")),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Ast, ParseError> {
+        // Optional label prefix: `ident :`.
+        let mut label = None;
+        if let (Some(Tok::Ident(name)), Some((Tok::Colon, _))) =
+            (self.peek().cloned(), self.toks.get(self.pos + 1).cloned())
+        {
+            if name != "a" {
+                label = Some(name);
+                self.pos += 2;
+            }
+        }
+        let node = self.instr()?;
+        Ok(match label {
+            Some(n) => node.label(n),
+            None => node,
+        })
+    }
+
+    fn instr(&mut self) -> Result<Ast, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(kw)) if kw == "skip" => {
+                self.expect(Tok::Semi)?;
+                Ok(skip())
+            }
+            Some(Tok::Ident(kw)) if kw == "async" => Ok(async_(self.block()?)),
+            Some(Tok::Ident(kw)) if kw == "finish" => Ok(finish(self.block()?)),
+            Some(Tok::Ident(kw)) if kw == "while" => {
+                self.expect(Tok::LParen)?;
+                match self.next() {
+                    Some(Tok::Ident(a)) if a == "a" => {}
+                    _ => return Err(self.err("while guard must be `a[d] != 0`")),
+                }
+                let d = self.array_index()?;
+                self.expect(Tok::Neq)?;
+                let zero = self.expect_num()?;
+                if zero != 0 {
+                    return Err(self.err("while guard must compare against 0"));
+                }
+                self.expect(Tok::RParen)?;
+                Ok(while_(d, self.block()?))
+            }
+            Some(Tok::Ident(a)) if a == "a" => {
+                let idx = self.array_index()?;
+                self.expect(Tok::Eq)?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(assign(idx, e))
+            }
+            Some(Tok::Ident(name)) => {
+                // `name();` is a call, bare `name;` is a named skip.
+                if self.peek() == Some(&Tok::LParen) {
+                    self.next();
+                    self.expect(Tok::RParen)?;
+                    self.expect(Tok::Semi)?;
+                    Ok(call(name))
+                } else {
+                    self.expect(Tok::Semi)?;
+                    Ok(skip().label(name))
+                }
+            }
+            Some(t) => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                message: format!("expected an instruction, found {t}"),
+            }),
+            None => Err(self.err("expected an instruction, found end of input")),
+        }
+    }
+}
+
+impl Program {
+    /// Parses FX10 concrete syntax into a validated [`Program`].
+    pub fn parse(src: &str) -> Result<Program, ParseError> {
+        let toks = lex(src)?;
+        let mut p = Parser { toks, pos: 0 };
+        let methods = p.program()?;
+        Ok(Program::from_ast(methods)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::InstrKind;
+
+    #[test]
+    fn parses_section_2_2_program() {
+        let p = Program::parse(
+            "def f() { async { S5; } }\n\
+             def main() {\n\
+               S1: finish { async { S3; } f(); }\n\
+               S2: finish { f(); async { S4; } }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.method_count(), 2);
+        assert_eq!(p.main(), p.find_method("main").unwrap());
+        assert!(p.labels().lookup("S1").is_some());
+        assert!(p.labels().lookup("S5").is_some());
+        // f's body is a lone async whose body is a named skip.
+        let f = p.find_method("f").unwrap();
+        let body = p.body(f);
+        assert_eq!(body.len(), 1);
+        match &body.head().kind {
+            InstrKind::Async { body } => {
+                assert!(matches!(body.head().kind, InstrKind::Skip));
+                assert_eq!(p.labels().display(body.head().label), "S5");
+            }
+            other => panic!("expected async, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_assign_while_and_exprs() {
+        let p = Program::parse(
+            "def main() {\n\
+               a[0] = 5;\n\
+               while (a[0] != 0) { a[1] = a[1] + 1; a[0] = 0; }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.array_len(), 2);
+        let body = p.body(p.main());
+        assert!(matches!(
+            body.head().kind,
+            InstrKind::Assign {
+                idx: 0,
+                expr: Expr::Const(5)
+            }
+        ));
+        match &body.instrs()[1].kind {
+            InstrKind::While { idx: 0, body } => {
+                assert!(matches!(
+                    body.head().kind,
+                    InstrKind::Assign {
+                        idx: 1,
+                        expr: Expr::Plus1(1)
+                    }
+                ));
+            }
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_block_becomes_skip() {
+        let p = Program::parse("def main() { finish { } }").unwrap();
+        match &p.body(p.main()).head().kind {
+            InstrKind::Finish { body } => assert!(matches!(body.head().kind, InstrKind::Skip)),
+            other => panic!("expected finish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = Program::parse("def main() {\n  async {\n  %\n}\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn rejects_bad_while_guard() {
+        assert!(Program::parse("def main() { while (a[0] != 1) { } }").is_err());
+        assert!(Program::parse("def main() { while (b[0] != 0) { } }").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let err = Program::parse("def main() { g(); }").unwrap_err();
+        assert!(err.message.contains("unknown method"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = Program::parse("// leading\ndef main() { skip; // trailing\n }").unwrap();
+        assert_eq!(p.label_count(), 1);
+    }
+
+    #[test]
+    fn bare_ident_is_named_skip() {
+        let p = Program::parse("def main() { S9; }").unwrap();
+        assert_eq!(p.labels().display(p.body(p.main()).head().label), "S9");
+        assert!(matches!(p.body(p.main()).head().kind, InstrKind::Skip));
+    }
+
+    #[test]
+    fn label_prefix_applies_to_any_instr() {
+        let p = Program::parse("def main() { L: finish { skip; } }").unwrap();
+        assert_eq!(p.labels().lookup("L").map(|l| l.0), Some(0));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: pretty-printing is a right inverse of parsing, and
+//! label assignment is stable across the round trip.
+
+use fx10_syntax::build::{assign, async_, call, finish, skip, while_, Ast};
+use fx10_syntax::pretty;
+use fx10_syntax::{Expr, Program};
+use proptest::prelude::*;
+
+/// A strategy for random unlabeled instruction trees.
+fn ast_strategy(depth: u32) -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        Just(skip()),
+        (0usize..4, prop_oneof![
+            (0i64..10).prop_map(Expr::Const),
+            (0usize..4).prop_map(Expr::Plus1),
+        ])
+            .prop_map(|(d, e)| assign(d, e)),
+        Just(call("aux")),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        let body = proptest::collection::vec(inner, 0..3);
+        prop_oneof![
+            body.clone().prop_map(async_),
+            body.clone().prop_map(finish),
+            (0usize..4, body).prop_map(|(d, b)| while_(d, b)),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(ast_strategy(3), 1..5),
+        proptest::collection::vec(ast_strategy(2), 1..4),
+    )
+        .prop_map(|(main_body, aux_body)| {
+            Program::from_ast(vec![
+                ("main".to_string(), main_body),
+                ("aux".to_string(), aux_body),
+            ])
+            .expect("generated programs are valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn pretty_then_parse_is_identity(p in program_strategy()) {
+        let printed = pretty::program(&p);
+        let reparsed = Program::parse(&printed)
+            .unwrap_or_else(|e| panic!("pretty output must parse: {e}\n{printed}"));
+        prop_assert_eq!(&p, &reparsed);
+    }
+
+    #[test]
+    fn labels_are_dense_and_unique(p in program_strategy()) {
+        let mut labels = Vec::new();
+        p.for_each_instr(|_, i| labels.push(i.label.index()));
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), labels.len(), "labels must be unique");
+        prop_assert_eq!(
+            sorted,
+            (0..p.label_count()).collect::<Vec<_>>(),
+            "labels must be dense"
+        );
+        // Instruction count equals label count.
+        let total: usize = p.methods().iter().map(|m| m.body().size()).sum();
+        prop_assert_eq!(total, p.label_count());
+    }
+
+    #[test]
+    fn suffixes_partition_statements(p in program_strategy()) {
+        // Every statement's tail chain covers exactly its instructions.
+        for m in p.methods() {
+            let body = m.body();
+            let mut covered = 0usize;
+            let mut cur = Some(body.clone());
+            while let Some(s) = cur {
+                covered += 1;
+                cur = s.tail();
+            }
+            prop_assert_eq!(covered, body.len());
+        }
+    }
+}

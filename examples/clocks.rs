@@ -1,0 +1,76 @@
+//! The §8 clocks extension in action: CFX10's barrier (`next`) orders
+//! phases across clocked activities, and the phase-refined MHP analysis
+//! sees it.
+//!
+//! ```sh
+//! cargo run --example clocks
+//! ```
+
+use fx10::clocked::ast::{async_, casync, next, skip};
+use fx10::clocked::{clocked_mhp, explore_clocked, CProgram};
+use fx10::syntax::Label;
+
+fn main() {
+    // main (registered):      casync { A; next; B }   X; next; Y
+    //
+    //   phase 0:   A ∥ X
+    //   — barrier —
+    //   phase 1:   B ∥ Y
+    //
+    // plus an unclocked async { F } that floats across the barrier.
+    let p = CProgram::new(vec![
+        casync(vec![skip(), next(), skip()]), // 0; 1=A; 2=next; 3=B
+        skip(),                               // 4=X
+        async_(vec![skip()]),                 // 5; 6=F (unregistered)
+        next(),                               // 7
+        skip(),                               // 8=Y
+    ]);
+    let name = |l: u32| match l {
+        1 => "A",
+        3 => "B",
+        4 => "X",
+        6 => "F",
+        8 => "Y",
+        _ => "?",
+    };
+
+    let a = clocked_mhp(&p);
+    println!("phases:");
+    for l in [1u32, 3, 4, 6, 8] {
+        println!(
+            "  {}: {}",
+            name(l),
+            match a.phases[l as usize] {
+                Some(ph) => format!("phase {ph}"),
+                None => "unbound (unclocked async)".to_string(),
+            }
+        );
+    }
+
+    println!("\nbarrier-blind MHP vs phase-refined:");
+    for (x, y) in [(1u32, 4u32), (3, 8), (1, 8), (3, 4), (6, 4), (6, 8)] {
+        let (lx, ly) = (Label(x), Label(y));
+        println!(
+            "  {} ∥ {} : base = {:<5} refined = {}",
+            name(x),
+            name(y),
+            a.base.contains(lx, ly),
+            a.refined.contains(lx, ly)
+        );
+    }
+
+    // Ground truth from exhaustive exploration of the clocked semantics.
+    let e = explore_clocked(&p, 200_000);
+    println!(
+        "\nexhaustive check: {} configurations, deadlock-free = {}, {} dynamic pairs",
+        e.visited,
+        e.deadlock_free,
+        e.mhp.len()
+    );
+    for &(x, y) in &e.mhp {
+        assert!(a.refined.contains(x, y), "soundness");
+    }
+    assert!(!a.refined.contains(Label(1), Label(8)), "A ∦ Y: barrier-ordered");
+    assert!(a.refined.contains(Label(6), Label(8)), "F floats: F ∥ Y");
+    println!("refined analysis is sound, and strictly sharper than the barrier-blind one");
+}

@@ -1,0 +1,71 @@
+//! The paper's headline comparison (§2.2, §7): context-sensitive vs
+//! context-insensitive interprocedural MHP analysis, on the worked
+//! example and on the two large benchmarks where they diverge.
+//!
+//! ```sh
+//! cargo run --release --example context_sensitivity
+//! ```
+
+use fx10::analysis::analysis::SolverKind;
+use fx10::analysis::{analyze, analyze_ci, Mode};
+use fx10::frontend::{analyze_condensed, async_pairs_condensed};
+use fx10::syntax::examples;
+
+fn main() {
+    // --- The §2.2 example -------------------------------------------
+    let p = examples::example_2_2();
+    let cs = analyze(&p);
+    let ci = analyze_ci(&p);
+
+    println!("Section 2.2 example");
+    println!("  context-sensitive pairs:   {:?}", cs.pairs_named(&p));
+    println!("  context-insensitive pairs: {:?}", ci.pairs_named(&p));
+    let s3 = p.labels().lookup("S3").unwrap();
+    let s4 = p.labels().lookup("S4").unwrap();
+    println!(
+        "  (S3, S4): CS = {}, CI = {}  ← the CI false positive",
+        cs.may_happen_in_parallel(s3, s4),
+        ci.may_happen_in_parallel(s3, s4)
+    );
+    println!(
+        "  why: CI merges the two call sites of f, so S3 — live at the\n\
+         \x20 end of the *first* call — appears live at the end of the\n\
+         \x20 second call too, where async S4 follows.\n"
+    );
+
+    // --- mg and plasma (Figure 9) ------------------------------------
+    for name in ["mg", "plasma"] {
+        let bm = fx10::suite::benchmark(name).expect("known benchmark");
+        let cs = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Naive);
+        let ci = analyze_condensed(
+            &bm.program,
+            Mode::ContextInsensitive { keep_scross: true },
+            SolverKind::Naive,
+        );
+        let (rc, ri) = (async_pairs_condensed(&cs), async_pairs_condensed(&ci));
+        println!("{name}:");
+        println!(
+            "  CS: {:>8.1} ms {:>8.2} MB  pairs {}/{}/{}/{}",
+            cs.stats.millis,
+            cs.stats.bytes as f64 / 1e6,
+            rc.total(),
+            rc.self_pairs,
+            rc.same_method,
+            rc.diff_method
+        );
+        println!(
+            "  CI: {:>8.1} ms {:>8.2} MB  pairs {}/{}/{}/{}  ({:.1}x pairs)",
+            ci.stats.millis,
+            ci.stats.bytes as f64 / 1e6,
+            ri.total(),
+            ri.self_pairs,
+            ri.same_method,
+            ri.diff_method,
+            ri.total() as f64 / rc.total() as f64
+        );
+    }
+    println!(
+        "\npaper (Figure 9): mg 272 → 681 pairs, plasma 258 → 2281 —\n\
+         the blowup lands almost entirely in the diff column, as here."
+    );
+}

@@ -1,0 +1,74 @@
+//! Executing FX10: the calculus is Turing-complete and this library ships
+//! a real small-step interpreter. This example computes with async/finish
+//! parallelism under three schedulers and shows (a) confluence of
+//! well-synchronized programs and (b) Theorem 1 — runs end only by
+//! completing, never by deadlock.
+//!
+//! ```sh
+//! cargo run --example interpreter
+//! ```
+
+use fx10::semantics::{explore, run, ExploreConfig, Scheduler};
+use fx10::syntax::Program;
+
+fn main() {
+    // A fork-join sum: four async increments of a[0], joined by finish,
+    // then a completion flag. Confluent: every schedule gives 4.
+    let p = Program::parse(
+        "def inc() { a[0] = a[0] + 1; }\n\
+         def main() {\n\
+           finish {\n\
+             async { inc(); }\n\
+             async { inc(); }\n\
+             async { inc(); inc(); }\n\
+           }\n\
+           a[1] = 1;\n\
+         }",
+    )
+    .expect("parses");
+
+    println!("fork-join sum under three schedulers:");
+    for (name, s) in [
+        ("leftmost ", Scheduler::Leftmost),
+        ("rightmost", Scheduler::Rightmost),
+        ("random   ", Scheduler::Random(2026)),
+    ] {
+        let out = run(&p, &[], s, 10_000);
+        println!(
+            "  {name}: a[0] = {}, a[1] = {}, {} steps, completed = {}",
+            out.array.get(0),
+            out.array.get(1),
+            out.steps,
+            out.completed
+        );
+        assert_eq!(out.array.get(0), 4, "finish makes the sum deterministic");
+    }
+
+    // A data-dependent loop: copy-by-increment bounded by input.
+    let loopy = Program::parse(
+        "def main() {\n\
+           while (a[1] != 0) {\n\
+             a[0] = a[0] + 1;\n\
+             a[1] = a[2] + 1;\n\
+             a[2] = a[3] + 1;\n\
+           }\n\
+         }",
+    )
+    .expect("parses");
+    // a[1]=1, a[2]=-2, a[3]=-2: runs exactly twice.
+    let out = run(&loopy, &[10, 1, -2, -2], Scheduler::Leftmost, 10_000);
+    println!(
+        "\nbounded loop: a[0] = {} after {} steps (expected 12)",
+        out.array.get(0),
+        out.steps
+    );
+
+    // Theorem 1, exhaustively: every reachable state of the fork-join
+    // program can step (no deadlocks), across all interleavings.
+    let e = explore(&p, &[], ExploreConfig::default());
+    println!(
+        "\nexhaustive exploration: {} states, {} terminal(s), deadlock-free = {}",
+        e.visited, e.terminals, e.deadlock_free
+    );
+    assert!(e.deadlock_free);
+}

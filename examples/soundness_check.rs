@@ -1,0 +1,66 @@
+//! Machine-checking the paper's theorems on random programs:
+//!
+//! - Theorem 1 (deadlock freedom): every reachable state steps;
+//! - Theorems 2–3 (soundness): dynamic MHP ⊆ static MHP;
+//! - Theorem 4/6 (types ⇄ constraints): the inferred type environment
+//!   equals the constraint solution, for every program.
+//!
+//! ```sh
+//! cargo run --release --example soundness_check
+//! ```
+
+use fx10::analysis::typesystem::{infer_types, typecheck};
+use fx10::analysis::analyze;
+use fx10::semantics::{explore, ExploreConfig};
+use fx10::suite::{random_fx10, RandomConfig};
+
+fn main() {
+    let trials = 200u64;
+    let mut states = 0usize;
+    let mut dynamic_pairs = 0usize;
+    let mut static_pairs = 0usize;
+    let mut exact = 0usize;
+
+    for seed in 0..trials {
+        let p = random_fx10(RandomConfig {
+            methods: 1 + (seed % 4) as usize,
+            stmts_per_method: 2 + (seed % 3) as usize,
+            max_depth: 2 + (seed % 2) as usize,
+            seed,
+        });
+
+        // Theorems 1–3.
+        let e = explore(&p, &[], ExploreConfig { max_states: 30_000, ..ExploreConfig::default() });
+        assert!(e.deadlock_free, "Theorem 1 violated at seed {seed}");
+        let a = analyze(&p);
+        for &(x, y) in &e.mhp {
+            assert!(
+                a.may_happen_in_parallel(x, y),
+                "Theorem 2/3 violated at seed {seed}: dynamic pair ({x:?},{y:?}) not in M"
+            );
+        }
+
+        // Theorem 4/6.
+        let (env, _) = infer_types(&p);
+        assert!(typecheck(&p, &env), "Theorem 6 violated at seed {seed}");
+        assert_eq!(env, a.type_env(), "Theorem 4 violated at seed {seed}");
+
+        states += e.visited;
+        dynamic_pairs += e.mhp.len();
+        static_pairs += a.mhp().len();
+        if !e.truncated && e.mhp.len() == a.mhp().len() {
+            exact += 1;
+        }
+    }
+
+    println!("checked {trials} random programs:");
+    println!("  {states} states explored, all deadlock-free (Theorem 1)");
+    println!(
+        "  {dynamic_pairs} dynamic pairs, all inside the {static_pairs} static pairs (Theorems 2-3)"
+    );
+    println!("  every inferred type environment typechecked and matched the constraint solution (Theorems 4/6)");
+    println!(
+        "  {exact}/{trials} programs had *zero* false positives (static == dynamic exactly) — \
+         the paper found none on its benchmarks either (§6)"
+    );
+}

@@ -1,0 +1,90 @@
+//! The X10-Lite frontend end to end: parse an X10-shaped program, condense
+//! it to the ten-node-kind form (paper §6, Figure 7), run the analysis and
+//! print the Figure 6/7/8-style statistics for it.
+//!
+//! ```sh
+//! cargo run --example x10_frontend
+//! ```
+
+use fx10::analysis::analysis::SolverKind;
+use fx10::analysis::Mode;
+use fx10::frontend::{analyze_condensed, async_pairs_condensed, parse};
+
+const SRC: &str = "\
+def init_grid() {
+  for (int i = 0; i < n; i++) { compute; }
+  return;
+}
+def relax() {
+  foreach (point p : interior) {
+    compute;
+  }
+}
+def exchange_halo() {
+  ateach (place q : dist.places()) {
+    compute;
+  }
+}
+def step() {
+  finish { relax(); }
+  exchange_halo();
+  if (converged) { return; }
+}
+def main() {
+  init_grid();
+  for (int it = 0; it < iters; it++) {
+    step();
+  }
+  async at (here.next()) { compute; }
+  end;
+}
+";
+
+fn main() {
+    let p = parse(SRC).expect("X10-Lite parses");
+    let counts = p.node_counts();
+    let asyncs = p.async_stats();
+
+    println!("condensed form: {} nodes over {} methods", counts.total(), counts.method);
+    println!(
+        "  end={} async={} call={} finish={} if={} loop={} return={} skip={} switch={}",
+        counts.end,
+        counts.async_,
+        counts.call,
+        counts.finish,
+        counts.if_,
+        counts.loop_,
+        counts.return_,
+        counts.skip,
+        counts.switch
+    );
+    println!(
+        "asyncs: {} total, {} loop asyncs, {} place-switching (Figure 6 categories)",
+        asyncs.total, asyncs.loop_asyncs, asyncs.place_switch
+    );
+
+    let a = analyze_condensed(&p, Mode::ContextSensitive, SolverKind::Naive);
+    println!(
+        "\nanalysis: constraints S/1/2 = {}/{}/{}, iterations = {}/{}/{}, {:.2} ms",
+        a.stats.slabels_constraints,
+        a.stats.level1_constraints,
+        a.stats.level2_constraints,
+        a.stats.slabels_passes,
+        a.stats.level1_passes,
+        a.stats.level2_passes,
+        a.stats.millis
+    );
+
+    let rep = async_pairs_condensed(&a);
+    println!(
+        "async-body MHP pairs: total={} self={} same={} diff={}",
+        rep.total(),
+        rep.self_pairs,
+        rep.same_method,
+        rep.diff_method
+    );
+    // relax()'s foreach async is called inside `step` from a loop in main
+    // — it overlaps itself across outer iterations? No: the finish inside
+    // step joins it each call. The halo ateach, however, is unfinished.
+    assert!(rep.self_pairs >= 2, "foreach + ateach self-overlaps: {rep:?}");
+}

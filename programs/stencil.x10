@@ -1,0 +1,15 @@
+// X10-Lite: a mini stencil code exercising the condensed-form frontend.
+def relax() {
+  foreach (point p : interior) { compute; }
+}
+def halo() {
+  ateach (place q : dist) { compute; }
+}
+def main() {
+  for (int it = 0; it < iters; it++) {
+    finish { relax(); }
+    halo();
+  }
+  async at (here.next()) { compute; }
+  end;
+}

@@ -1,0 +1,186 @@
+//! Property checks for the helper-function lemmas of Appendix B
+//! (Lemma 7) that relate the static label sets to execution.
+
+use fx10::analysis::index::{StmtId, StmtIndex};
+use fx10::analysis::slabels::compute_slabels;
+use fx10::analysis::typesystem::{slabels_of_dyn, tlabels};
+use fx10::semantics::parallel::ftlabels;
+use fx10::semantics::step::{initial_tree, successors};
+use fx10::semantics::ArrayState;
+use fx10::suite::{random_fx10, RandomConfig};
+use fx10::syntax::Label;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Lemma 7.12/7.13: `FSlabels(s) ⊆ Slabels(s)` and
+    /// `FTlabels(T) ⊆ Tlabels(T)`; Lemma 7.15: `Tlabels` shrinks (weakly)
+    /// along every step.
+    #[test]
+    fn tlabels_shrink_along_steps(seed in 0u64..10_000) {
+        let p = random_fx10(RandomConfig {
+            methods: 3,
+            stmts_per_method: 4,
+            max_depth: 2,
+            seed,
+        });
+        let idx = StmtIndex::build(&p);
+        let slab = compute_slabels(&idx, false);
+        let n = p.label_count();
+
+        let mut frontier = vec![(ArrayState::zeros(&p), initial_tree(&p))];
+        let mut visited = 0usize;
+        while let Some((a, t)) = frontier.pop() {
+            if visited > 250 {
+                break;
+            }
+            visited += 1;
+            let tl = tlabels(&slab, n, &t);
+            // 7.13: the front labels are executable labels.
+            for l in ftlabels(&t) {
+                prop_assert!(tl.contains(l), "FTlabels ⊄ Tlabels");
+            }
+            for succ in successors(&p, &a, &t) {
+                let tl2 = tlabels(&slab, n, &succ.tree);
+                prop_assert!(
+                    tl2.is_subset(&tl),
+                    "Lemma 7.15 violated: Tlabels grew on a step"
+                );
+                frontier.push((succ.array, succ.tree));
+            }
+        }
+    }
+
+    /// Lemma 7.11: `Slabels(s_a . s_b) = Slabels(s_a) ∪ Slabels(s_b)` —
+    /// checked through the dynamic-statement computation used by the
+    /// tree-typing rules.
+    #[test]
+    fn slabels_distributes_over_concat(seed in 0u64..10_000) {
+        let p = random_fx10(RandomConfig {
+            methods: 2,
+            stmts_per_method: 4,
+            max_depth: 2,
+            seed,
+        });
+        let idx = StmtIndex::build(&p);
+        let slab = compute_slabels(&idx, false);
+        let n = p.label_count();
+
+        let a = p.body(fx10::syntax::FuncId(0)).clone();
+        let b = p.body(fx10::syntax::FuncId(1)).clone();
+        let mut expect = slabels_of_dyn(&slab, n, &a);
+        expect.union_with(&slabels_of_dyn(&slab, n, &b));
+        let got = slabels_of_dyn(&slab, n, &a.seq(b));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The per-statement `Slabels` fixed point agrees with the recursive
+    /// definition: head label + nested body/callee + tail.
+    #[test]
+    fn slabels_fixed_point_is_consistent(seed in 0u64..10_000) {
+        use fx10::analysis::index::StmtKind;
+        let p = random_fx10(RandomConfig {
+            methods: 3,
+            stmts_per_method: 3,
+            max_depth: 3,
+            seed,
+        });
+        let idx = StmtIndex::build(&p);
+        let slab = compute_slabels(&idx, false);
+        for s in idx.ids() {
+            let info = idx.info(s);
+            let mine = slab.stmt(s);
+            prop_assert!(mine.contains(Label(s.0)), "own label (15)-(21)");
+            match info.kind {
+                StmtKind::While { body }
+                | StmtKind::Async { body }
+                | StmtKind::Finish { body } => {
+                    prop_assert!(slab.stmt(body).is_subset(mine));
+                }
+                StmtKind::Call { callee } => {
+                    prop_assert!(slab.method(callee).is_subset(mine), "(21)");
+                }
+                StmtKind::Simple => {}
+            }
+            if let Some(t) = info.tail {
+                prop_assert!(slab.stmt(t).is_subset(mine));
+            }
+            // Minimality spot check: a lone simple statement is exactly
+            // its own label.
+            if info.tail.is_none() && matches!(info.kind, StmtKind::Simple) {
+                prop_assert_eq!(mine.len(), 1);
+            }
+        }
+    }
+
+    /// Administrative-step normalization computes the same dynamic MHP
+    /// as the literal semantics, on fewer states.
+    #[test]
+    fn normalized_exploration_equals_literal(seed in 0u64..10_000) {
+        use fx10::semantics::{explore, ExploreConfig};
+        let p = random_fx10(RandomConfig {
+            methods: 3,
+            stmts_per_method: 3,
+            max_depth: 2,
+            seed,
+        });
+        let lit = explore(&p, &[], ExploreConfig { max_states: 20_000, ..ExploreConfig::default() });
+        let norm = explore(
+            &p,
+            &[],
+            ExploreConfig {
+                max_states: 20_000,
+                normalize_admin: true,
+            },
+        );
+        if !lit.truncated && !norm.truncated {
+            prop_assert_eq!(&lit.mhp, &norm.mhp);
+            prop_assert!(norm.visited <= lit.visited);
+        }
+        prop_assert!(lit.deadlock_free && norm.deadlock_free);
+    }
+
+    /// Statements step deterministically (all FX10 nondeterminism comes
+    /// from `∥`): a `⟨s⟩` tree always has exactly one successor.
+    #[test]
+    fn statement_steps_are_deterministic(seed in 0u64..10_000) {
+        use fx10::semantics::Tree;
+        let p = random_fx10(RandomConfig {
+            methods: 2,
+            stmts_per_method: 3,
+            max_depth: 2,
+            seed,
+        });
+        let a = ArrayState::zeros(&p);
+        let t = initial_tree(&p);
+        let succ = successors(&p, &a, &t);
+        prop_assert_eq!(succ.len(), 1);
+        prop_assert!(matches!(t, Tree::Stm(_)));
+    }
+}
+
+#[test]
+fn dynamic_statement_while_unroll_preserves_slabels() {
+    // Rule (11) unrolls `while` to `s . (while … s) k`; Lemma 7.15's
+    // while case says Tlabels is preserved exactly there.
+    let p = fx10::syntax::Program::parse(
+        "def main() { a[0] = 1; while (a[0] != 0) { B; a[0] = 0; } K; }",
+    )
+    .unwrap();
+    let idx = StmtIndex::build(&p);
+    let slab = compute_slabels(&idx, false);
+    let n = p.label_count();
+
+    let a = ArrayState::zeros(&p);
+    let t0 = initial_tree(&p);
+    let s1 = successors(&p, &a, &t0); // a[0] = 1
+    let before = tlabels(&slab, n, &s1[0].tree);
+    let s2 = successors(&p, &s1[0].array, &s1[0].tree); // unroll
+    let after = tlabels(&slab, n, &s2[0].tree);
+    assert_eq!(before, after, "unrolling preserves Tlabels");
+    // And the label of the statement suffix at K is gone after exiting.
+    let k = p.labels().lookup("K").unwrap();
+    assert!(after.contains(k));
+    assert!(after.contains(Label(StmtId(k.0).label().0)));
+}

@@ -1,0 +1,115 @@
+//! E12: the §8 places extension — same-place refinement of MHP.
+
+use fx10::analysis::analysis::SolverKind;
+use fx10::analysis::Mode;
+use fx10::frontend::{analyze_condensed, parse, same_place_pairs, PlaceAssignment};
+use fx10::syntax::Label;
+
+#[test]
+fn place_refinement_never_adds_pairs() {
+    for src in [
+        "def main() { async at (p) { compute; } compute; }",
+        "def f() { compute; } def main() { f(); async at (q) { f(); } }",
+        "def main() { ateach (q) { compute; } foreach (r) { compute; } }",
+    ] {
+        let p = parse(src).unwrap();
+        let a = analyze_condensed(&p, Mode::ContextSensitive, SolverKind::Naive);
+        let places = PlaceAssignment::compute(&p);
+        let refined = same_place_pairs(&a, &places);
+        assert!(refined.is_subset(a.mhp()));
+    }
+}
+
+#[test]
+fn cross_place_parallelism_is_filtered() {
+    // Two `async at` bodies run in parallel with each other and the main
+    // task, but at three distinct places — the same-place relation on
+    // their compute labels is empty.
+    let p = parse(
+        "def main() {\n\
+           async at (p1) { compute; compute; }\n\
+           async at (p2) { compute; }\n\
+           compute;\n\
+         }",
+    )
+    .unwrap();
+    // Labels: 0=async1, 1,2=bodies, 3=async2, 4=body, 5=main compute.
+    let a = analyze_condensed(&p, Mode::ContextSensitive, SolverKind::Naive);
+    let places = PlaceAssignment::compute(&p);
+    assert!(a.may_happen_in_parallel(Label(1), Label(4)));
+    assert!(a.may_happen_in_parallel(Label(1), Label(5)));
+    let refined = same_place_pairs(&a, &places);
+    assert!(!refined.contains(Label(1), Label(4)), "different at-places");
+    assert!(!refined.contains(Label(1), Label(5)), "body vs place 0");
+    // Statements within one at-body still share their place.
+    assert_eq!(places.place(Label(1)), places.place(Label(2)));
+}
+
+#[test]
+fn same_place_contention_is_kept() {
+    // A plain async stays at the spawner's place: the race remains in the
+    // refined relation.
+    let p = parse("def main() { async { compute; } compute; }").unwrap();
+    let a = analyze_condensed(&p, Mode::ContextSensitive, SolverKind::Naive);
+    let places = PlaceAssignment::compute(&p);
+    let refined = same_place_pairs(&a, &places);
+    assert!(refined.contains(Label(1), Label(2)));
+    assert_eq!(&refined, a.mhp());
+}
+
+#[test]
+fn migratory_methods_stay_sound() {
+    // f runs at place 0 (first call) and at the at-body's place (second
+    // call): its labels must remain in the same-place relation with both
+    // contexts.
+    let p = parse(
+        "def f() { async { compute; } }\n\
+         def main() {\n\
+           f();\n\
+           async at (q) { f(); compute; }\n\
+           compute;\n\
+         }",
+    )
+    .unwrap();
+    let a = analyze_condensed(&p, Mode::ContextSensitive, SolverKind::Naive);
+    let places = PlaceAssignment::compute(&p);
+    let refined = same_place_pairs(&a, &places);
+    // f's async body (label 1) may happen in parallel with main's tail
+    // compute; since f is migratory the pair must survive refinement.
+    let f_body = Label(1);
+    let main_tail = p
+        .method(p.main())
+        .body
+        .nodes
+        .last()
+        .unwrap()
+        .label;
+    if a.may_happen_in_parallel(f_body, main_tail) {
+        assert!(refined.contains(f_body, main_tail));
+    }
+    assert_eq!(places.place(f_body).0, u32::MAX);
+}
+
+#[test]
+fn benchmarks_refine_without_losing_soundness() {
+    for name in ["sor", "moldyn", "mg", "plasma"] {
+        let bm = fx10::suite::benchmark(name).unwrap();
+        let a = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Worklist);
+        let places = PlaceAssignment::compute(&bm.program);
+        let refined = same_place_pairs(&a, &places);
+        assert!(refined.is_subset(a.mhp()), "{name}");
+        assert!(
+            refined.len() <= a.mhp().len(),
+            "{name}: refinement can only shrink"
+        );
+        // Consistency: the refinement removes exactly the cross-place
+        // pairs.
+        let removed = a.mhp().len() - refined.len();
+        let cross = a
+            .mhp()
+            .iter_pairs()
+            .filter(|&(x, y)| !places.may_share_place(x, y))
+            .count();
+        assert_eq!(removed, cross, "{name}");
+    }
+}

@@ -1,0 +1,102 @@
+//! The paper's precision claims, machine-checked (§6 "We found none!"
+//! and §8's analysis of the single false-positive source).
+//!
+//! The only pattern the paper identifies that can produce a false
+//! positive is a loop that executes fewer than twice (rule 53 assumes
+//! the body runs ≥ 2 times). We verify the flip side: **on loop-free
+//! programs the analysis is exact** — the inferred `M`, restricted to
+//! reachable code, equals the exhaustively computed dynamic MHP.
+
+use fx10::analysis::analyze;
+use fx10::semantics::{explore, ExploreConfig};
+use fx10::suite::{random_fx10_loop_free, RandomConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loop-free programs: zero false positives.
+    #[test]
+    fn analysis_is_exact_without_loops(
+        seed in 0u64..100_000,
+        methods in 1usize..4,
+        stmts in 1usize..5,
+        depth in 0usize..3,
+    ) {
+        let p = random_fx10_loop_free(RandomConfig {
+            methods,
+            stmts_per_method: stmts,
+            max_depth: depth,
+            seed,
+        });
+        let e = explore(
+            &p,
+            &[],
+            ExploreConfig {
+                max_states: 50_000,
+                normalize_admin: true,
+            },
+        );
+        prop_assume!(!e.truncated);
+        let a = analyze(&p);
+        // Exactness in both directions.
+        for &(x, y) in &e.mhp {
+            prop_assert!(a.may_happen_in_parallel(x, y), "soundness");
+        }
+        for (x, y) in a.mhp().iter_pairs() {
+            prop_assert!(
+                e.mhp.contains(&(x.min(y), x.max(y))),
+                "false positive ({}, {}) in loop-free program:\n{}",
+                p.labels().display(x),
+                p.labels().display(y),
+                fx10::syntax::pretty::program(&p)
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_examples_are_exactly_precise() {
+    // §2.1/§2.2: "our algorithm determines the best possible
+    // may-happen-in-parallel information" — and the category scenarios
+    // too (their loops run exactly twice, satisfying rule 53's
+    // assumption).
+    use fx10::syntax::examples;
+    for (name, p) in [
+        ("example_2_1", examples::example_2_1()),
+        ("example_2_2", examples::example_2_2()),
+        ("self_category", examples::self_category()),
+        ("same_category", examples::same_category()),
+    ] {
+        let a = analyze(&p);
+        let e = explore(&p, &[], ExploreConfig::default());
+        assert!(!e.truncated, "{name}");
+        assert_eq!(
+            a.mhp().len(),
+            e.mhp.len(),
+            "{name}: static and dynamic MHP must coincide"
+        );
+    }
+}
+
+#[test]
+fn the_only_false_positive_source_is_the_loop_pattern() {
+    // The §8 example: a dead loop. Exactly the pairs involving the dead
+    // body are spurious; everything else is exact.
+    let p = fx10::syntax::examples::conclusion_false_positive();
+    let a = analyze(&p);
+    let e = explore(&p, &[], ExploreConfig::default());
+    assert!(!e.truncated);
+    let s1 = p.labels().lookup("S1").unwrap();
+    let a1 = p.labels().lookup("A1").unwrap();
+    for (x, y) in a.mhp().iter_pairs() {
+        let dynamic = e.mhp.contains(&(x.min(y), x.max(y)));
+        let involves_dead_loop_body = [x, y].contains(&s1) || [x, y].contains(&a1);
+        assert_eq!(
+            !dynamic, involves_dead_loop_body,
+            "pair ({}, {})",
+            p.labels().display(x),
+            p.labels().display(y)
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! E4–E7: the 13 synthetic benchmarks reproduce the paper's published
+//! structure and the qualitative results of Figures 6–9.
+
+use fx10::analysis::analysis::SolverKind;
+use fx10::analysis::Mode;
+use fx10::frontend::{analyze_condensed, async_pairs_condensed};
+use fx10::suite::benchmarks::Style;
+use fx10::suite::{all_benchmarks, benchmark};
+
+#[test]
+fn figure_7_node_counts_are_exact() {
+    for bm in all_benchmarks() {
+        assert_eq!(bm.program.node_counts(), bm.spec.nodes, "{}", bm.spec.name);
+    }
+}
+
+#[test]
+fn figure_6_async_columns_are_exact() {
+    for bm in all_benchmarks() {
+        let st = bm.program.async_stats();
+        assert_eq!(st, bm.spec.asyncs, "{}", bm.spec.name);
+        assert_eq!(
+            st.total,
+            st.loop_asyncs + st.place_switch,
+            "{}: categories partition the asyncs",
+            bm.spec.name
+        );
+    }
+}
+
+#[test]
+fn figure_6_constraint_counts_scale_with_paper() {
+    // Our counting scheme differs from the paper's by a bounded factor
+    // (see DESIGN.md); check the counts are within 2.5x of the paper's,
+    // and that the level-1 : level-2 ratio exceeds 1 as in the paper.
+    for bm in all_benchmarks() {
+        let a = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Worklist);
+        let [p_slab, p_l1, p_l2] = bm.spec.paper_constraints;
+        for (ours, paper, what) in [
+            (a.stats.slabels_constraints, p_slab, "Slabels"),
+            (a.stats.level1_constraints, p_l1, "level-1"),
+            (a.stats.level2_constraints, p_l2, "level-2"),
+        ] {
+            let ratio = ours as f64 / paper as f64;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "{}: {what} count {ours} vs paper {paper} (ratio {ratio:.2})",
+                bm.spec.name
+            );
+        }
+        assert!(a.stats.level1_constraints > a.stats.level2_constraints);
+        assert_eq!(a.stats.slabels_constraints, a.stats.level2_constraints);
+    }
+}
+
+#[test]
+fn figure_8_pair_magnitudes_track_paper() {
+    // Pair totals should land in the paper's regime: within a factor ~3
+    // of the published figure (or ±4 pairs for the tiny benchmarks), and
+    // the dominant category should match.
+    for bm in all_benchmarks() {
+        let a = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Worklist);
+        let rep = async_pairs_condensed(&a);
+        let paper = bm.spec.fig8.pairs;
+        let (ours, theirs) = (rep.total() as f64, paper[0] as f64);
+        assert!(
+            (ours - theirs).abs() <= 4.0 || (0.33..=3.0).contains(&(ours / theirs)),
+            "{}: total pairs {ours} vs paper {theirs}",
+            bm.spec.name
+        );
+    }
+}
+
+#[test]
+fn figure_9_small_benchmarks_ci_equals_cs() {
+    // §7: "For the 11 smallest benchmarks, the runs used roughly the same
+    // amount of time and space, and we got the exact same results."
+    for bm in all_benchmarks() {
+        if bm.spec.style != Style::Flat {
+            continue;
+        }
+        let cs = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Worklist);
+        let ci = analyze_condensed(
+            &bm.program,
+            Mode::ContextInsensitive { keep_scross: true },
+            SolverKind::Worklist,
+        );
+        // "we got the exact same results" — the MHP relations coincide.
+        // (The internal o_i summaries legitimately differ: CI's are
+        // merged-context by definition.)
+        assert_eq!(cs.mhp(), ci.mhp(), "{}", bm.spec.name);
+        assert_eq!(
+            async_pairs_condensed(&cs),
+            async_pairs_condensed(&ci),
+            "{}",
+            bm.spec.name
+        );
+    }
+}
+
+#[test]
+fn figure_9_mg_plasma_blowup_shape() {
+    for name in ["mg", "plasma"] {
+        let bm = benchmark(name).unwrap();
+        let cs = analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Worklist);
+        let ci = analyze_condensed(
+            &bm.program,
+            Mode::ContextInsensitive { keep_scross: true },
+            SolverKind::Worklist,
+        );
+        let (rc, ri) = (async_pairs_condensed(&cs), async_pairs_condensed(&ci));
+        assert!(ri.total() > rc.total(), "{name}: CI produces more pairs");
+        let extra_diff = ri.diff_method.saturating_sub(rc.diff_method);
+        let extra_other =
+            (ri.total() - rc.total()).saturating_sub(extra_diff);
+        assert!(
+            extra_diff >= extra_other,
+            "{name}: the blowup is mostly diff pairs ({extra_diff} vs {extra_other})"
+        );
+        assert!(
+            ci.stats.bytes >= cs.stats.bytes,
+            "{name}: CI uses at least as much space"
+        );
+    }
+}
+
+#[test]
+fn plasma_dominates_mg_dominates_the_rest_in_cost() {
+    // Figure 8's time ordering is driven by constraint-system size; check
+    // the machine-independent proxy: number of level-1 constraints.
+    let work = |name: &str| {
+        let bm = benchmark(name).unwrap();
+        analyze_condensed(&bm.program, Mode::ContextSensitive, SolverKind::Naive)
+            .stats
+            .level1_constraints
+    };
+    let plasma = work("plasma");
+    let mg = work("mg");
+    let stream = work("stream");
+    let raytracer = work("raytracer");
+    assert!(plasma > mg, "plasma ({plasma}) > mg ({mg})");
+    assert!(mg > raytracer, "mg ({mg}) > raytracer ({raytracer})");
+    assert!(raytracer > stream, "raytracer ({raytracer}) > stream ({stream})");
+}
+
+#[test]
+fn benchmarks_expose_loc_from_figure_6() {
+    for bm in all_benchmarks() {
+        assert_eq!(bm.program.loc, bm.spec.loc, "{}", bm.spec.name);
+    }
+}
