@@ -29,9 +29,7 @@ fn bench_explore(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(explore(p, &[], ExploreConfig::default())))
         });
         group.bench_with_input(BenchmarkId::new("parallel4", name), p, |b, p| {
-            b.iter(|| {
-                std::hint::black_box(explore_parallel(p, &[], ExploreConfig::default(), 4))
-            })
+            b.iter(|| std::hint::black_box(explore_parallel(p, &[], ExploreConfig::default(), 4)))
         });
     }
     group.finish();

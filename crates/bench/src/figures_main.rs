@@ -41,7 +41,9 @@ fn main() {
             println!("{}", "=".repeat(72));
         }
         other => {
-            eprintln!("unknown figure `{other}`; expected fig5..fig9, example22, precision, or all");
+            eprintln!(
+                "unknown figure `{other}`; expected fig5..fig9, example22, precision, or all"
+            );
             std::process::exit(2);
         }
     }

@@ -104,8 +104,18 @@ pub fn fig7() -> String {
     let _ = writeln!(
         out,
         "{:<12} {:>6} {:>5} {:>6} {:>5} {:>7} {:>4} {:>5} {:>7} {:>7} {:>5} {:>7}",
-        "benchmark", "Total", "End", "Async", "Call", "Finish", "If", "Loop", "Method",
-        "Return", "Skip", "Switch"
+        "benchmark",
+        "Total",
+        "End",
+        "Async",
+        "Call",
+        "Finish",
+        "If",
+        "Loop",
+        "Method",
+        "Return",
+        "Skip",
+        "Switch"
     );
     for bm in all_benchmarks() {
         let c = bm.program.node_counts();
@@ -178,7 +188,12 @@ pub fn fig8() -> String {
     let _ = writeln!(
         out,
         "{:<12} {:>9} {:>9} | {:>12} {:>12} | {:>18} {:>18}",
-        "benchmark", "time(ms)", "space(MB)", "iters S/1/2", "[paper S/1/2]", "pairs t/s/s/d",
+        "benchmark",
+        "time(ms)",
+        "space(MB)",
+        "iters S/1/2",
+        "[paper S/1/2]",
+        "pairs t/s/s/d",
         "[paper t/s/s/d]"
     );
     for bm in all_benchmarks() {
@@ -219,7 +234,12 @@ pub fn fig9() -> String {
     let _ = writeln!(
         out,
         "{:<10} {:<20} {:>9} {:>9} {:>12} {:>18} {:>18}",
-        "benchmark", "analysis", "time(ms)", "space(MB)", "iters S/1/2", "pairs t/s/s/d",
+        "benchmark",
+        "analysis",
+        "time(ms)",
+        "space(MB)",
+        "iters S/1/2",
+        "pairs t/s/s/d",
         "[paper t/s/s/d]"
     );
     for name in ["mg", "plasma"] {
@@ -355,7 +375,10 @@ pub fn example_2_2_report() -> String {
     let cs = fx10_core::analyze(&p);
     let ci = fx10_core::analyze_ci(&p);
     let mut out = String::new();
-    let _ = writeln!(out, "Section 2.2 example — modular interprocedural analysis\n");
+    let _ = writeln!(
+        out,
+        "Section 2.2 example — modular interprocedural analysis\n"
+    );
     let _ = writeln!(out, "context-sensitive pairs:");
     for (a, b) in cs.pairs_named(&p) {
         let _ = writeln!(out, "  ({a}, {b})");

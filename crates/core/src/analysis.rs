@@ -5,11 +5,12 @@
 use crate::gen::{self, GenOutput, Mode};
 use crate::index::StmtIndex;
 use crate::sets::{LabelSet, PairSet};
-use crate::slabels::{compute_slabels, SlabelsResult};
+use crate::slabels::{compute_slabels_budgeted, SlabelsResult};
 use crate::solver::{
-    solve_pair_naive, solve_pair_worklist, solve_set_naive, solve_set_worklist, PairSolution,
-    SetSolution,
+    solve_pair_naive_budgeted, solve_pair_worklist_budgeted, solve_set_naive_budgeted,
+    solve_set_worklist_budgeted, PairSolution, SetSolution,
 };
+use fx10_robust::{Budget, BudgetMeter, CancelToken, Exhaustion, FaultPlan, Fx10Error, Stop};
 use fx10_syntax::{FuncId, Label, Program};
 
 /// Which fixed-point algorithm to run.
@@ -61,6 +62,10 @@ pub struct Analysis {
     main: FuncId,
     /// Statistics gathered while solving.
     pub stats: AnalysisStats,
+    /// `Some` when a budget cut any phase short: the MHP sets are then a
+    /// (still useful) under-approximation of the analysis's answer and
+    /// must not be treated as a proof of race freedom.
+    pub exhausted: Option<Exhaustion>,
 }
 
 /// Runs the paper's context-sensitive analysis with the naive
@@ -78,28 +83,92 @@ pub fn analyze_ci(p: &Program) -> Analysis {
     )
 }
 
-/// Runs the analysis with explicit mode and solver choice.
+/// Runs the analysis with explicit mode and solver choice. Infallible
+/// legacy entry point (unlimited budget).
 pub fn analyze_with(p: &Program, mode: Mode, solver: SolverKind) -> Analysis {
+    // An unlimited budget and an uncancellable token cannot trip, so the
+    // budgeted path cannot return Err here.
+    analyze_with_budget(p, mode, solver, Budget::unlimited(), &CancelToken::new())
+        .expect("analysis with an unlimited budget cannot fail")
+}
+
+/// Runs the analysis under a [`Budget`], observing `cancel`.
+///
+/// Budget exhaustion in any phase stops that phase, tags the result
+/// ([`Analysis::exhausted`]) and *skips the remaining solver work* (the
+/// already-solved prefix is kept; unsolved variables stay empty), so the
+/// caller always gets a typed, partial answer. Cancellation and worker
+/// panics return `Err`.
+pub fn analyze_with_budget(
+    p: &Program,
+    mode: Mode,
+    solver: SolverKind,
+    budget: Budget,
+    cancel: &CancelToken,
+) -> Result<Analysis, Fx10Error> {
+    analyze_with_faults(p, mode, solver, budget, cancel, &FaultPlan::none())
+}
+
+/// [`analyze_with_budget`] plus a [`FaultPlan`] for the parallel level-2
+/// solver — the entry point the fault-injection harness drives.
+pub fn analyze_with_faults(
+    p: &Program,
+    mode: Mode,
+    solver: SolverKind,
+    budget: Budget,
+    cancel: &CancelToken,
+    faults: &FaultPlan,
+) -> Result<Analysis, Fx10Error> {
     let start = std::time::Instant::now();
+    let mut meter = BudgetMeter::new(budget, cancel.clone());
     let idx = StmtIndex::build(p);
     // Step 1: solve the Slabels equations.
-    let slabels = compute_slabels(&idx, solver == SolverKind::Naive);
+    let slabels = compute_slabels_budgeted(&idx, solver == SolverKind::Naive, &mut meter)?;
+    // Phase boundary: cancellation unwinds; a tripped deadline is
+    // recorded in the meter and the remaining phases short-circuit on
+    // their own polls, keeping the partial-result contract.
+    if let Err(stop @ Stop::Cancelled) = meter.checkpoint() {
+        return Err(stop.into());
+    }
     // Step 2: generate and solve the level-1 constraints.
     let gen = gen::generate(p, &idx, &slabels, mode);
     let l1 = match solver {
-        SolverKind::Naive => solve_set_naive(&gen.level1),
-        _ => solve_set_worklist(&gen.level1),
+        SolverKind::Naive => solve_set_naive_budgeted(&gen.level1, &mut meter)?,
+        _ => solve_set_worklist_budgeted(&gen.level1, &mut meter)?,
     };
+    // Phase boundary: cancellation unwinds; a tripped deadline is
+    // recorded in the meter and the remaining phases short-circuit on
+    // their own polls, keeping the partial-result contract.
+    if let Err(stop @ Stop::Cancelled) = meter.checkpoint() {
+        return Err(stop.into());
+    }
     // Step 3: simplify and solve the level-2 constraints.
     let l2sys = gen::simplify(&gen, &l1, &slabels);
     let l2 = match solver {
-        SolverKind::Naive => solve_pair_naive(&l2sys),
-        SolverKind::Worklist => solve_pair_worklist(&l2sys),
-        SolverKind::Scc => crate::scc::solve_pair_scc(&l2sys),
-        SolverKind::SccParallel(t) => crate::scc::solve_pair_scc_parallel(&l2sys, t),
+        SolverKind::Naive => solve_pair_naive_budgeted(&l2sys, &mut meter)?,
+        SolverKind::Worklist => solve_pair_worklist_budgeted(&l2sys, &mut meter)?,
+        SolverKind::Scc => crate::scc::solve_pair_scc_budgeted(&l2sys, &mut meter)?,
+        SolverKind::SccParallel(t) => {
+            let sol = crate::scc::solve_pair_scc_parallel_budgeted(
+                &l2sys,
+                t,
+                meter.budget(),
+                cancel,
+                faults,
+            )?;
+            // Settle the crew's shared tick count with the meter; a trip
+            // here is already reflected in sol.exhausted.
+            let _ = meter.charge(sol.evals as u64);
+            sol
+        }
     };
     let millis = start.elapsed().as_secs_f64() * 1e3;
 
+    let exhausted = slabels
+        .exhausted
+        .or(l1.exhausted)
+        .or(l2.exhausted)
+        .or(meter.exhaustion());
     let stats = AnalysisStats {
         slabels_constraints: slabels.constraint_count,
         level1_constraints: gen.level1.constraints.len(),
@@ -112,7 +181,7 @@ pub fn analyze_with(p: &Program, mode: Mode, solver: SolverKind) -> Analysis {
         millis,
     };
 
-    Analysis {
+    Ok(Analysis {
         mode,
         main: p.main(),
         idx,
@@ -121,7 +190,64 @@ pub fn analyze_with(p: &Program, mode: Mode, solver: SolverKind) -> Analysis {
         l2,
         gen,
         stats,
+        exhausted,
+    })
+}
+
+/// Which analysis answered an [`analyze_with_fallback`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisPath {
+    /// The context-sensitive analysis completed within its budget.
+    ContextSensitive,
+    /// The CS analysis exhausted its budget; the context-insensitive
+    /// baseline (a sound over-approximation of CS, §7) answered instead.
+    ContextInsensitiveFallback,
+}
+
+/// The result of [`analyze_with_fallback`].
+#[derive(Debug, Clone)]
+pub struct FallbackOutcome {
+    /// The analysis that produced the final answer.
+    pub analysis: Analysis,
+    /// Which path answered.
+    pub path: AnalysisPath,
+    /// What exhausted the CS budget, when the fallback fired.
+    pub cs_exhaustion: Option<Exhaustion>,
+}
+
+/// Graceful degradation: runs the context-sensitive analysis under
+/// `cs_budget`; if any phase exhausts the budget, falls back to the
+/// cheaper context-insensitive baseline under `ci_budget` — a sound
+/// over-approximation of the CS answer (§7), so "no race found" claims
+/// stay conservative. The outcome records which path answered.
+pub fn analyze_with_fallback(
+    p: &Program,
+    solver: SolverKind,
+    cs_budget: Budget,
+    ci_budget: Budget,
+    cancel: &CancelToken,
+) -> Result<FallbackOutcome, Fx10Error> {
+    let cs = analyze_with_budget(p, Mode::ContextSensitive, solver, cs_budget, cancel)?;
+    if cs.exhausted.is_none() {
+        return Ok(FallbackOutcome {
+            analysis: cs,
+            path: AnalysisPath::ContextSensitive,
+            cs_exhaustion: None,
+        });
     }
+    let cs_exhaustion = cs.exhausted;
+    let ci = analyze_with_budget(
+        p,
+        Mode::ContextInsensitive { keep_scross: true },
+        solver,
+        ci_budget,
+        cancel,
+    )?;
+    Ok(FallbackOutcome {
+        analysis: ci,
+        path: AnalysisPath::ContextInsensitiveFallback,
+        cs_exhaustion,
+    })
 }
 
 impl Analysis {
@@ -254,20 +380,14 @@ mod tests {
         // happen in parallel" — and nothing else.
         let p = examples::example_2_1();
         let a = analyze(&p);
-        assert_eq!(
-            pairs(&p, &a),
-            norm(examples::example_2_1_expected_pairs())
-        );
+        assert_eq!(pairs(&p, &a), norm(examples::example_2_1_expected_pairs()));
     }
 
     #[test]
     fn example_2_2_exact_pairs_context_sensitive() {
         let p = examples::example_2_2();
         let a = analyze(&p);
-        assert_eq!(
-            pairs(&p, &a),
-            norm(examples::example_2_2_expected_pairs())
-        );
+        assert_eq!(pairs(&p, &a), norm(examples::example_2_2_expected_pairs()));
         // In particular, no (S3, S4).
         let s3 = p.labels().lookup("S3").unwrap();
         let s4 = p.labels().lookup("S4").unwrap();

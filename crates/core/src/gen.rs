@@ -29,8 +29,8 @@
 use crate::index::{StmtId, StmtIndex, StmtKind};
 use crate::slabels::SlabelsResult;
 use crate::solver::{
-    PairConstraint, PairSystem, PairTerm, PairVar, SetConstraint, SetSolution, SetSystem,
-    SetTerm, SetVar,
+    PairConstraint, PairSystem, PairTerm, PairVar, SetConstraint, SetSolution, SetSystem, SetTerm,
+    SetVar,
 };
 use fx10_syntax::{FuncId, Label, Program};
 
@@ -386,10 +386,7 @@ pub fn generate(p: &Program, idx: &StmtIndex, slab: &SlabelsResult, mode: Mode) 
                 };
                 let mut m_terms = vec![SymPairTerm::Lcross(l, layout.r(s))];
                 if keep_scross {
-                    m_terms.push(SymPairTerm::Symcross(
-                        SlabRef::Method(callee),
-                        layout.r(s),
-                    ));
+                    m_terms.push(SymPairTerm::Symcross(SlabRef::Method(callee), layout.r(s)));
                 }
                 m_terms.push(SymPairTerm::MVar(layout.mi(callee)));
                 match tail {
@@ -397,20 +394,14 @@ pub fn generate(p: &Program, idx: &StmtIndex, slab: &SlabelsResult, mode: Mode) 
                         // Lone call: o_s = r_s ∪ o_i.
                         l1.push(SetConstraint {
                             lhs: layout.o(s),
-                            terms: vec![
-                                SetTerm::Var(layout.r(s)),
-                                SetTerm::Var(layout.oi(callee)),
-                            ],
+                            terms: vec![SetTerm::Var(layout.r(s)), SetTerm::Var(layout.oi(callee))],
                         });
                     }
                     Some(t) => {
                         // (80) r_k = r_s ∪ o_i.
                         l1.push(SetConstraint {
                             lhs: layout.r(t),
-                            terms: vec![
-                                SetTerm::Var(layout.r(s)),
-                                SetTerm::Var(layout.oi(callee)),
-                            ],
+                            terms: vec![SetTerm::Var(layout.r(s)), SetTerm::Var(layout.oi(callee))],
                         });
                         // (81) o_s = o_k.
                         l1.push(SetConstraint {
@@ -460,11 +451,7 @@ pub fn generate(p: &Program, idx: &StmtIndex, slab: &SlabelsResult, mode: Mode) 
 
 /// Substitutes the level-1 solution into the symbolic level-2 system — the
 /// paper's "simplified level-2 constraints" (§5.3).
-pub fn simplify(
-    gen: &GenOutput,
-    l1: &SetSolution,
-    slab: &SlabelsResult,
-) -> PairSystem {
+pub fn simplify(gen: &GenOutput, l1: &SetSolution, slab: &SlabelsResult) -> PairSystem {
     use std::sync::Arc;
     let constraints = gen
         .level2
@@ -475,9 +462,7 @@ pub fn simplify(
                 .terms
                 .iter()
                 .map(|t| match t {
-                    SymPairTerm::Lcross(l, v) => {
-                        PairTerm::Lcross(*l, Arc::new(l1.get(*v).clone()))
-                    }
+                    SymPairTerm::Lcross(l, v) => PairTerm::Lcross(*l, Arc::new(l1.get(*v).clone())),
                     SymPairTerm::Symcross(sr, v) => {
                         let a = match sr {
                             SlabRef::Stmt(s) => slab.stmt(*s).clone(),
@@ -517,7 +502,8 @@ pub fn render_constraints(p: &Program, idx: &StmtIndex, gen: &GenOutput) -> Stri
         } else {
             format!(
                 "r[{}]",
-                p.method(FuncId((i - 2 * layout.n - layout.u) as u32)).name()
+                p.method(FuncId((i - 2 * layout.n - layout.u) as u32))
+                    .name()
             )
         }
     };
@@ -638,12 +624,14 @@ mod tests {
         let idx = StmtIndex::build(&p);
         let slab = compute_slabels(&idx, false);
         let cs = generate(&p, &idx, &slab, Mode::ContextSensitive);
-        let ci = generate(&p, &idx, &slab, Mode::ContextInsensitive { keep_scross: true });
-        // Two call sites → two (83) constraints.
-        assert_eq!(
-            ci.level1.constraints.len(),
-            cs.level1.constraints.len() + 2
+        let ci = generate(
+            &p,
+            &idx,
+            &slab,
+            Mode::ContextInsensitive { keep_scross: true },
         );
+        // Two call sites → two (83) constraints.
+        assert_eq!(ci.level1.constraints.len(), cs.level1.constraints.len() + 2);
         assert_eq!(ci.layout.level1_vars(), cs.layout.level1_vars() + 2);
     }
 

@@ -210,10 +210,8 @@ mod tests {
 
     #[test]
     fn while_bodies_are_indexed() {
-        let p = fx10_syntax::Program::parse(
-            "def main() { while (a[0] != 0) { a[0] = 0; S; } K; }",
-        )
-        .unwrap();
+        let p = fx10_syntax::Program::parse("def main() { while (a[0] != 0) { a[0] = 0; S; } K; }")
+            .unwrap();
         let idx = StmtIndex::build(&p);
         let mb = idx.method_body(p.main());
         match idx.info(mb).kind {

@@ -27,7 +27,6 @@
 //! - the high-level driver [`analyze`] / [`analyze_ci`] with iteration,
 //!   constraint-count and space accounting for Figures 6, 8 and 9.
 
-
 #![warn(missing_docs)]
 pub mod analysis;
 pub mod gen;
@@ -40,7 +39,10 @@ pub mod slabels;
 pub mod solver;
 pub mod typesystem;
 
-pub use analysis::{analyze, analyze_ci, analyze_with, Analysis, AnalysisStats, SolverKind};
+pub use analysis::{
+    analyze, analyze_ci, analyze_with, analyze_with_budget, analyze_with_fallback,
+    analyze_with_faults, Analysis, AnalysisPath, AnalysisStats, FallbackOutcome, SolverKind,
+};
 pub use gen::Mode;
 pub use index::{StmtId, StmtIndex, StmtKind};
 pub use sets::{LabelSet, PairSet};

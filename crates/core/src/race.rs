@@ -151,8 +151,7 @@ mod tests {
 
     #[test]
     fn finish_protects() {
-        let p =
-            Program::parse("def main() { finish { async { a[0] = 1; } } a[0] = 2; }").unwrap();
+        let p = Program::parse("def main() { finish { async { a[0] = 1; } } a[0] = 2; }").unwrap();
         let races = detect_races(&p, &analyze(&p));
         assert!(races.is_empty(), "{races:?}");
     }
@@ -165,10 +164,8 @@ mod tests {
 
     #[test]
     fn read_read_is_not_a_race() {
-        let p = Program::parse(
-            "def main() { async { a[1] = a[0] + 1; } a[2] = a[0] + 1; }",
-        )
-        .unwrap();
+        let p =
+            Program::parse("def main() { async { a[1] = a[0] + 1; } a[2] = a[0] + 1; }").unwrap();
         let races = detect_races(&p, &analyze(&p));
         // a[0] is read by both but written by neither; a[1]/a[2] disjoint.
         assert!(races.is_empty(), "{races:?}");

@@ -98,10 +98,7 @@ pub fn async_pairs(a: &Analysis) -> AsyncPairReport {
     let sites = async_sites(a);
     let m = a.mhp();
     let slab = a.slabels();
-    let body_labels: Vec<&LabelSet> = sites
-        .iter()
-        .map(|s| slab.stmt(s.body).as_ref())
-        .collect();
+    let body_labels: Vec<&LabelSet> = sites.iter().map(|s| slab.stmt(s.body).as_ref()).collect();
 
     let mut report = AsyncPairReport::default();
     for (i, si) in sites.iter().enumerate() {
@@ -217,10 +214,8 @@ mod tests {
     fn internal_parallelism_is_not_a_self_pair() {
         // The outer async contains two overlapping inner asyncs; the
         // outer body must NOT be counted as overlapping itself.
-        let p = fx10_syntax::Program::parse(
-            "def main() { finish { async { async { X; } Y; } } }",
-        )
-        .unwrap();
+        let p = fx10_syntax::Program::parse("def main() { finish { async { async { X; } Y; } } }")
+            .unwrap();
         let r = async_pairs(&analyze(&p));
         assert_eq!(r.self_pairs, 0, "{r:?}");
         assert_eq!(r.same_method, 1, "outer body overlaps inner body");
@@ -245,6 +240,9 @@ mod tests {
         let r = async_pairs(&analyze(&p));
         let txt = render_report(&p, &r);
         assert!(txt.contains("total=2 self=0 same=0 diff=2"), "{txt}");
-        assert!(txt.contains("(A5, A3)") || txt.contains("(A3, A5)"), "{txt}");
+        assert!(
+            txt.contains("(A5, A3)") || txt.contains("(A3, A5)"),
+            "{txt}"
+        );
     }
 }

@@ -10,19 +10,24 @@
 //!
 //! Two variants:
 //! - [`solve_pair_scc`] — sequential, components in topological order;
-//! - [`solve_pair_scc_parallel`] — a crossbeam work crew over the
-//!   condensation DAG: a component becomes ready when all components it
-//!   depends on have published their values (`OnceLock` hand-off, no
+//! - [`solve_pair_scc_parallel`] — a work crew of scoped std threads over
+//!   the condensation DAG: a component becomes ready when all components
+//!   it depends on have published their values (`OnceLock` hand-off, no
 //!   locks on the hot path). Independent subtrees of the program solve
 //!   concurrently.
 //!
 //! Both produce the same least solution as the naive and worklist solvers
-//! (property-tested in `tests/equivalence.rs`).
+//! (property-tested in `tests/equivalence.rs`), and both have `_budgeted`
+//! variants that honor a [`BudgetMeter`] / [`fx10_robust::Budget`],
+//! observe cancellation, and — in the parallel case — contain worker
+//! panics with `catch_unwind` and accept a [`FaultPlan`].
 
 use crate::sets::PairSet;
 use crate::solver::{PairConstraint, PairSolution, PairSystem, PairTerm};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use fx10_robust::{Budget, BudgetMeter, CancelToken, Exhaustion, FaultPlan, Fx10Error, Stop};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Iterative Tarjan SCC over the m-variable dependency graph.
 ///
@@ -69,8 +74,7 @@ fn tarjan(n_vars: usize, succs: &[Vec<u32>]) -> (Vec<u32>, Vec<Vec<u32>>) {
             } else {
                 work.pop();
                 if let Some(&(parent, _)) = work.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     let cid = comps.len() as u32;
@@ -163,11 +167,16 @@ fn condense(sys: &PairSystem) -> Condensation<'_> {
 ///
 /// `local` holds the component's values (indexed by position in
 /// `members`); external variables are read from `published`.
-fn solve_component(
+///
+/// `on_eval` is charged once per constraint evaluation; when it asks to
+/// stop, the (partial, under-approximate) local values computed so far
+/// are returned alongside the stop reason.
+fn solve_component_metered(
     cond: &Condensation<'_>,
     cid: usize,
     published: &[OnceLock<PairSet>],
-) -> Vec<PairSet> {
+    on_eval: &mut impl FnMut() -> Result<(), Stop>,
+) -> (Vec<PairSet>, Option<Stop>) {
     let sys = cond.sys;
     let members = &cond.comps[cid];
     let slot_of = |v: u32| members.iter().position(|&m| m == v);
@@ -189,6 +198,9 @@ fn solve_component(
         });
     if acyclic_singleton {
         for &ci in &cond.comp_constraints[cid] {
+            if let Err(stop) = on_eval() {
+                return (local, Some(stop));
+            }
             let c: &PairConstraint = &sys.constraints[ci as usize];
             for t in &c.terms {
                 match t {
@@ -205,12 +217,15 @@ fn solve_component(
                 }
             }
         }
-        return local;
+        return (local, None);
     }
 
     loop {
         let mut changed = false;
         for &ci in &cond.comp_constraints[cid] {
+            if let Err(stop) = on_eval() {
+                return (local, Some(stop));
+            }
             let c: &PairConstraint = &sys.constraints[ci as usize];
             let lhs_slot = slot_of(c.lhs.0).expect("constraint lhs in component");
             for t in &c.terms {
@@ -252,11 +267,16 @@ fn solve_component(
             break;
         }
     }
-    local
+    (local, None)
 }
 
 /// Publishes a solved component's values.
-fn publish(cond: &Condensation<'_>, cid: usize, local: Vec<PairSet>, published: &[OnceLock<PairSet>]) {
+fn publish(
+    cond: &Condensation<'_>,
+    cid: usize,
+    local: Vec<PairSet>,
+    published: &[OnceLock<PairSet>],
+) {
     for (&v, value) in cond.comps[cid].iter().zip(local) {
         published[v as usize]
             .set(value)
@@ -264,93 +284,229 @@ fn publish(cond: &Condensation<'_>, cid: usize, local: Vec<PairSet>, published: 
     }
 }
 
-fn collect(sys: &PairSystem, published: Vec<OnceLock<PairSet>>, evals_hint: usize) -> PairSolution {
+fn collect(
+    sys: &PairSystem,
+    published: Vec<OnceLock<PairSet>>,
+    evals: usize,
+    exhausted: Option<Exhaustion>,
+) -> PairSolution {
     let values = published
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap_or_else(|| PairSet::empty(sys.universe)))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|| PairSet::empty(sys.universe))
+        })
         .collect();
     PairSolution {
         values,
         passes: 0,
-        evals: evals_hint,
+        evals,
+        exhausted,
     }
 }
 
 /// Sequential SCC-condensation solver: components in topological order,
 /// each iterated to its local fixed point exactly once.
 pub fn solve_pair_scc(sys: &PairSystem) -> PairSolution {
+    solve_pair_scc_budgeted(sys, &mut BudgetMeter::unlimited()).unwrap_or_else(|_| PairSolution {
+        values: Vec::new(),
+        passes: 0,
+        evals: 0,
+        exhausted: Some(Exhaustion::SolverIterations),
+    })
+}
+
+/// [`solve_pair_scc`] under a budget: budget exhaustion publishes the
+/// partial component values solved so far (unsolved components collect as
+/// empty — a sound under-approximation) and tags the solution;
+/// cancellation returns `Err`.
+pub fn solve_pair_scc_budgeted(
+    sys: &PairSystem,
+    meter: &mut BudgetMeter,
+) -> Result<PairSolution, Fx10Error> {
     let cond = condense(sys);
-    let published: Vec<OnceLock<PairSet>> =
-        (0..sys.n_vars).map(|_| OnceLock::new()).collect();
+    let published: Vec<OnceLock<PairSet>> = (0..sys.n_vars).map(|_| OnceLock::new()).collect();
+    let mut evals = 0usize;
+    let mut exhausted = None;
     for cid in 0..cond.comps.len() {
-        let local = solve_component(&cond, cid, &published);
+        let mut on_eval = || {
+            evals += 1;
+            meter.tick()
+        };
+        let (local, stop) = solve_component_metered(&cond, cid, &published, &mut on_eval);
         publish(&cond, cid, local, &published);
+        match stop {
+            None => {}
+            Some(Stop::Exhausted(e)) => {
+                exhausted = Some(e);
+                break;
+            }
+            Some(stop @ Stop::Cancelled) => return Err(stop.into()),
+        }
     }
-    collect(sys, published, sys.constraints.len())
+    Ok(collect(sys, published, evals, exhausted))
 }
 
 /// Parallel SCC-condensation solver: a work crew drains the condensation
 /// DAG, starting each component once its dependencies have published.
+/// Infallible legacy entry point (no budget, no faults).
 pub fn solve_pair_scc_parallel(sys: &PairSystem, threads: usize) -> PairSolution {
+    solve_pair_scc_parallel_budgeted(
+        sys,
+        threads,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        &FaultPlan::none(),
+    )
+    .unwrap_or_else(|_| PairSolution {
+        values: Vec::new(),
+        passes: 0,
+        evals: 0,
+        exhausted: Some(Exhaustion::SolverIterations),
+    })
+}
+
+/// Shared state of the parallel solve's work crew.
+struct SccCrew {
+    /// Ready components (all dependencies published).
+    ready: Mutex<Vec<u32>>,
+    /// Components fully solved.
+    done: AtomicUsize,
+    /// Total constraint evaluations across workers.
+    evals: AtomicU64,
+    /// First budget wall hit.
+    exhausted: Mutex<Option<Exhaustion>>,
+    /// Any stop condition: drain out.
+    stop_flag: AtomicBool,
+    /// Cancellation observed.
+    cancelled: AtomicBool,
+    /// First worker panic (index, message).
+    panic: Mutex<Option<(usize, String)>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`solve_pair_scc_parallel`] under a [`Budget`], [`CancelToken`] and
+/// [`FaultPlan`]. Worker panics are contained per worker and surface as
+/// [`Fx10Error::WorkerPanicked`]; the other workers drain out cleanly.
+pub fn solve_pair_scc_parallel_budgeted(
+    sys: &PairSystem,
+    threads: usize,
+    budget: Budget,
+    cancel: &CancelToken,
+    faults: &FaultPlan,
+) -> Result<PairSolution, Fx10Error> {
     let threads = threads.max(1);
     let cond = condense(sys);
     let n_comps = cond.comps.len();
+    let published: Vec<OnceLock<PairSet>> = (0..sys.n_vars).map(|_| OnceLock::new()).collect();
     if n_comps == 0 {
-        return collect(sys, (0..sys.n_vars).map(|_| OnceLock::new()).collect(), 0);
+        return Ok(collect(sys, published, 0, None));
     }
-    let published: Vec<OnceLock<PairSet>> =
-        (0..sys.n_vars).map(|_| OnceLock::new()).collect();
-    let remaining_deps: Vec<AtomicUsize> = cond
-        .indegree
-        .iter()
-        .map(|&d| AtomicUsize::new(d))
-        .collect();
-    let done = AtomicUsize::new(0);
+    let remaining_deps: Vec<AtomicUsize> =
+        cond.indegree.iter().map(|&d| AtomicUsize::new(d)).collect();
+    let crew = SccCrew {
+        ready: Mutex::new(
+            cond.indegree
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d == 0)
+                .map(|(cid, _)| cid as u32)
+                .collect(),
+        ),
+        done: AtomicUsize::new(0),
+        evals: AtomicU64::new(0),
+        exhausted: Mutex::new(None),
+        stop_flag: AtomicBool::new(false),
+        cancelled: AtomicBool::new(false),
+        panic: Mutex::new(None),
+    };
 
-    let (tx, rx) = crossbeam::channel::unbounded::<u32>();
-    for (cid, &deg) in cond.indegree.iter().enumerate() {
-        if deg == 0 {
-            tx.send(cid as u32).unwrap();
-        }
-    }
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            let rx = rx.clone();
-            let tx = tx.clone();
+    std::thread::scope(|scope| {
+        for worker_id in 0..threads {
+            let crew = &crew;
             let cond = &cond;
             let published = &published;
             let remaining_deps = &remaining_deps;
-            let done = &done;
-            scope.spawn(move |_| loop {
-                match rx.try_recv() {
-                    Ok(cid) => {
-                        let cid = cid as usize;
-                        let local = solve_component(cond, cid, published);
-                        publish(cond, cid, local, published);
-                        for &dep in &cond.dependents[cid] {
-                            if remaining_deps[dep as usize].fetch_sub(1, Ordering::AcqRel) == 1
-                            {
-                                tx.send(dep).unwrap();
-                            }
-                        }
-                        done.fetch_add(1, Ordering::SeqCst);
+            scope.spawn(move || {
+                let mut solved = 0u64;
+                let result = catch_unwind(AssertUnwindSafe(|| loop {
+                    if crew.stop_flag.load(Ordering::SeqCst) {
+                        break;
                     }
-                    Err(crossbeam::channel::TryRecvError::Empty) => {
-                        if done.load(Ordering::SeqCst) == n_comps {
+                    let next = lock(&crew.ready).pop();
+                    let Some(cid) = next else {
+                        if crew.done.load(Ordering::SeqCst) == n_comps {
                             break;
                         }
                         std::thread::yield_now();
+                        continue;
+                    };
+                    let cid = cid as usize;
+                    solved += 1;
+                    if faults.should_panic(worker_id, solved) {
+                        panic!(
+                            "injected fault: scc worker {worker_id} after {solved} component(s)"
+                        );
                     }
-                    Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+                    let mut on_eval = || {
+                        let n = crew.evals.fetch_add(1, Ordering::Relaxed) + 1;
+                        if budget.max_iters.is_some_and(|cap| n > cap) {
+                            return Err(Stop::Exhausted(Exhaustion::SolverIterations));
+                        }
+                        if n.is_multiple_of(64) {
+                            if cancel.is_cancelled() {
+                                return Err(Stop::Cancelled);
+                            }
+                            if budget.deadline_exceeded() {
+                                return Err(Stop::Exhausted(Exhaustion::Deadline));
+                            }
+                        }
+                        Ok(())
+                    };
+                    let (local, stop) = solve_component_metered(cond, cid, published, &mut on_eval);
+                    publish(cond, cid, local, published);
+                    match stop {
+                        None => {}
+                        Some(Stop::Exhausted(e)) => {
+                            lock(&crew.exhausted).get_or_insert(e);
+                            crew.stop_flag.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        Some(Stop::Cancelled) => {
+                            crew.cancelled.store(true, Ordering::SeqCst);
+                            crew.stop_flag.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    for &dep in &cond.dependents[cid] {
+                        if remaining_deps[dep as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            lock(&crew.ready).push(dep);
+                        }
+                    }
+                    crew.done.fetch_add(1, Ordering::SeqCst);
+                }));
+                if let Err(payload) = result {
+                    lock(&crew.panic).get_or_insert_with(|| {
+                        (worker_id, fx10_robust::panic_message(payload.as_ref()))
+                    });
+                    crew.stop_flag.store(true, Ordering::SeqCst);
                 }
             });
         }
-        drop(tx);
-    })
-    .expect("scc solver threads must not panic");
+    });
 
-    collect(sys, published, sys.constraints.len())
+    if let Some((worker, message)) = lock(&crew.panic).take() {
+        return Err(Fx10Error::WorkerPanicked { worker, message });
+    }
+    if crew.cancelled.load(Ordering::SeqCst) || cancel.is_cancelled() {
+        return Err(Fx10Error::Cancelled);
+    }
+    let exhausted = *lock(&crew.exhausted);
+    let evals = crew.evals.load(Ordering::Relaxed) as usize;
+    Ok(collect(sys, published, evals, exhausted))
 }
 
 #[cfg(test)]
@@ -362,10 +518,7 @@ mod tests {
     use std::sync::Arc;
 
     fn c(labels: &[u32]) -> crate::sets::SharedLabelSet {
-        Arc::new(LabelSet::from_labels(
-            32,
-            labels.iter().map(|&l| Label(l)),
-        ))
+        Arc::new(LabelSet::from_labels(32, labels.iter().map(|&l| Label(l))))
     }
 
     fn chain_with_cycle() -> PairSystem {

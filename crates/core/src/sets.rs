@@ -286,10 +286,7 @@ impl PairSet {
     /// Does label `l` pair with any member of `set`?
     pub fn row_intersects(&self, l: Label, set: &LabelSet) -> bool {
         match &self.rows[l.index()] {
-            Some(row) => row
-                .iter()
-                .zip(set.words().iter())
-                .any(|(a, b)| a & b != 0),
+            Some(row) => row.iter().zip(set.words().iter()).any(|(a, b)| a & b != 0),
             None => false,
         }
     }
@@ -412,10 +409,7 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert!(s.contains(l(64)));
         assert!(!s.contains(l(65)));
-        assert_eq!(
-            s.iter().collect::<Vec<_>>(),
-            vec![l(0), l(64), l(129)]
-        );
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![l(0), l(64), l(129)]);
         assert_eq!(format!("{s}"), "{L0, L64, L129}");
     }
 

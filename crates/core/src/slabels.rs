@@ -13,8 +13,10 @@
 use crate::index::{StmtIndex, StmtKind};
 use crate::sets::{LabelSet, SharedLabelSet};
 use crate::solver::{
-    solve_set_naive, solve_set_worklist, SetConstraint, SetSystem, SetTerm, SetVar,
+    solve_set_naive_budgeted, solve_set_worklist_budgeted, SetConstraint, SetSystem, SetTerm,
+    SetVar,
 };
+use fx10_robust::{BudgetMeter, Exhaustion, Fx10Error};
 use fx10_syntax::FuncId;
 use std::sync::Arc;
 
@@ -31,6 +33,9 @@ pub struct SlabelsResult {
     pub passes: usize,
     /// Individual constraint evaluations performed.
     pub evals: usize,
+    /// `Some` when a budget cut the solve short (sets are then an
+    /// under-approximation).
+    pub exhausted: Option<Exhaustion>,
 }
 
 impl SlabelsResult {
@@ -70,10 +75,7 @@ pub fn slabels_system(idx: &StmtIndex) -> SetSystem {
     let mut per_method: Vec<Vec<SetConstraint>> = vec![Vec::new(); u];
     for s in idx.ids() {
         let info = idx.info(s);
-        let mut terms = vec![SetTerm::Const(Arc::new(LabelSet::singleton(
-            n,
-            s.label(),
-        )))];
+        let mut terms = vec![SetTerm::Const(Arc::new(LabelSet::singleton(n, s.label())))];
         match info.kind {
             StmtKind::Simple => {}
             StmtKind::While { body } | StmtKind::Async { body } | StmtKind::Finish { body } => {
@@ -111,11 +113,35 @@ pub fn slabels_system(idx: &StmtIndex) -> SetSystem {
 /// `naive` selects the paper's round-robin iteration (pass counts are then
 /// meaningful); otherwise the worklist solver is used.
 pub fn compute_slabels(idx: &StmtIndex, naive: bool) -> SlabelsResult {
+    compute_slabels_budgeted(idx, naive, &mut BudgetMeter::unlimited()).unwrap_or_else(|_| {
+        // Unreachable (an unlimited meter never trips); degrade to an
+        // empty result rather than panic on a library path.
+        SlabelsResult {
+            per_stmt: {
+                let empty = Arc::new(LabelSet::empty(idx.len()));
+                (0..idx.len()).map(|_| Arc::clone(&empty)).collect()
+            },
+            per_method: Vec::new(),
+            constraint_count: 0,
+            passes: 0,
+            evals: 0,
+            exhausted: Some(Exhaustion::SolverIterations),
+        }
+    })
+}
+
+/// [`compute_slabels`] under a budget. The meter is shared with the later
+/// analysis phases, so `max_iters` bounds the whole pipeline.
+pub fn compute_slabels_budgeted(
+    idx: &StmtIndex,
+    naive: bool,
+    meter: &mut BudgetMeter,
+) -> Result<SlabelsResult, Fx10Error> {
     let sys = slabels_system(idx);
     let sol = if naive {
-        solve_set_naive(&sys)
+        solve_set_naive_budgeted(&sys, meter)?
     } else {
-        solve_set_worklist(&sys)
+        solve_set_worklist_budgeted(&sys, meter)?
     };
     let n = idx.len();
     let per_stmt: Vec<SharedLabelSet> = sol.values[..n]
@@ -126,13 +152,14 @@ pub fn compute_slabels(idx: &StmtIndex, naive: bool) -> SlabelsResult {
         .iter()
         .map(|s| Arc::new(s.clone()))
         .collect();
-    SlabelsResult {
+    Ok(SlabelsResult {
         per_stmt,
         per_method,
         constraint_count: sys.constraints.len(),
         passes: sol.passes,
         evals: sol.evals,
-    }
+        exhausted: sol.exhausted,
+    })
 }
 
 #[cfg(test)]

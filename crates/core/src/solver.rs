@@ -18,8 +18,16 @@
 //!   constraints whose right-hand-side variables changed. Same solution;
 //!   used as the production path and measured by the solver-ablation
 //!   bench.
+//!
+//! Every solver also has a `_budgeted` variant taking a [`BudgetMeter`]:
+//! one meter tick per constraint evaluation, so a `max_iters` budget
+//! bounds the whole analysis across phases. Budget exhaustion returns
+//! the partial (under-approximate) solution tagged with its
+//! [`Exhaustion`] provenance; cancellation returns
+//! [`Fx10Error::Cancelled`].
 
 use crate::sets::{LabelSet, PairSet, SharedLabelSet};
+use fx10_robust::{BudgetMeter, Exhaustion, Fx10Error, Stop};
 use fx10_syntax::Label;
 
 /// A level-1 (or Slabels) set variable.
@@ -73,6 +81,9 @@ pub struct SetSolution {
     pub passes: usize,
     /// Individual constraint evaluations.
     pub evals: usize,
+    /// `Some` when a budget cut the solve short: the values are a sound
+    /// under-approximation of the least solution.
+    pub exhausted: Option<Exhaustion>,
 }
 
 impl SetSolution {
@@ -118,15 +129,48 @@ fn eval_set_constraint(c: &SetConstraint, values: &mut [LabelSet]) -> bool {
     changed
 }
 
+/// Fallback for the infallible wrappers: an unlimited meter cannot trip,
+/// so this is unreachable — but library paths never panic, so degrade to
+/// an empty, exhaustion-tagged solution instead.
+macro_rules! unreachable_partial {
+    ($sol:ident) => {
+        $sol {
+            values: Vec::new(),
+            passes: 0,
+            evals: 0,
+            exhausted: Some(Exhaustion::SolverIterations),
+        }
+    };
+}
+
 /// Naive round-robin solver; reports the pass count.
 pub fn solve_set_naive(sys: &SetSystem) -> SetSolution {
+    solve_set_naive_budgeted(sys, &mut BudgetMeter::unlimited())
+        .unwrap_or_else(|_| unreachable_partial!(SetSolution))
+}
+
+/// [`solve_set_naive`] under a budget; exhaustion returns the partial
+/// solution tagged, cancellation returns `Err`.
+pub fn solve_set_naive_budgeted(
+    sys: &SetSystem,
+    meter: &mut BudgetMeter,
+) -> Result<SetSolution, Fx10Error> {
     let mut values = vec![LabelSet::empty(sys.universe); sys.n_vars];
     let mut passes = 0usize;
     let mut evals = 0usize;
-    loop {
+    let mut exhausted = None;
+    'solve: loop {
         passes += 1;
         let mut changed = false;
         for c in &sys.constraints {
+            match meter.tick() {
+                Ok(()) => {}
+                Err(Stop::Exhausted(e)) => {
+                    exhausted = Some(e);
+                    break 'solve;
+                }
+                Err(stop @ Stop::Cancelled) => return Err(stop.into()),
+            }
             evals += 1;
             changed |= eval_set_constraint(c, &mut values);
         }
@@ -134,15 +178,25 @@ pub fn solve_set_naive(sys: &SetSystem) -> SetSolution {
             break;
         }
     }
-    SetSolution {
+    Ok(SetSolution {
         values,
         passes,
         evals,
-    }
+        exhausted,
+    })
 }
 
 /// Worklist solver; same least solution, usually far fewer evaluations.
 pub fn solve_set_worklist(sys: &SetSystem) -> SetSolution {
+    solve_set_worklist_budgeted(sys, &mut BudgetMeter::unlimited())
+        .unwrap_or_else(|_| unreachable_partial!(SetSolution))
+}
+
+/// [`solve_set_worklist`] under a budget.
+pub fn solve_set_worklist_budgeted(
+    sys: &SetSystem,
+    meter: &mut BudgetMeter,
+) -> Result<SetSolution, Fx10Error> {
     let mut values = vec![LabelSet::empty(sys.universe); sys.n_vars];
     // deps[v] = constraints whose rhs mentions v.
     let mut deps: Vec<Vec<u32>> = vec![Vec::new(); sys.n_vars];
@@ -154,10 +208,18 @@ pub fn solve_set_worklist(sys: &SetSystem) -> SetSolution {
         }
     }
     let mut on_queue = vec![true; sys.constraints.len()];
-    let mut queue: std::collections::VecDeque<u32> =
-        (0..sys.constraints.len() as u32).collect();
+    let mut queue: std::collections::VecDeque<u32> = (0..sys.constraints.len() as u32).collect();
     let mut evals = 0usize;
+    let mut exhausted = None;
     while let Some(ci) = queue.pop_front() {
+        match meter.tick() {
+            Ok(()) => {}
+            Err(Stop::Exhausted(e)) => {
+                exhausted = Some(e);
+                break;
+            }
+            Err(stop @ Stop::Cancelled) => return Err(stop.into()),
+        }
         on_queue[ci as usize] = false;
         let c = &sys.constraints[ci as usize];
         evals += 1;
@@ -170,11 +232,12 @@ pub fn solve_set_worklist(sys: &SetSystem) -> SetSolution {
             }
         }
     }
-    SetSolution {
+    Ok(SetSolution {
         values,
         passes: 0,
         evals,
-    }
+        exhausted,
+    })
 }
 
 /// A level-2 (pair) variable.
@@ -231,6 +294,9 @@ pub struct PairSolution {
     pub passes: usize,
     /// Individual constraint evaluations.
     pub evals: usize,
+    /// `Some` when a budget cut the solve short: the values are a sound
+    /// under-approximation of the least solution.
+    pub exhausted: Option<Exhaustion>,
 }
 
 impl PairSolution {
@@ -277,13 +343,31 @@ fn eval_pair_constraint(c: &PairConstraint, values: &mut [PairSet]) -> bool {
 
 /// Naive round-robin level-2 solver; reports the pass count.
 pub fn solve_pair_naive(sys: &PairSystem) -> PairSolution {
+    solve_pair_naive_budgeted(sys, &mut BudgetMeter::unlimited())
+        .unwrap_or_else(|_| unreachable_partial!(PairSolution))
+}
+
+/// [`solve_pair_naive`] under a budget.
+pub fn solve_pair_naive_budgeted(
+    sys: &PairSystem,
+    meter: &mut BudgetMeter,
+) -> Result<PairSolution, Fx10Error> {
     let mut values = vec![PairSet::empty(sys.universe); sys.n_vars];
     let mut passes = 0usize;
     let mut evals = 0usize;
-    loop {
+    let mut exhausted = None;
+    'solve: loop {
         passes += 1;
         let mut changed = false;
         for c in &sys.constraints {
+            match meter.tick() {
+                Ok(()) => {}
+                Err(Stop::Exhausted(e)) => {
+                    exhausted = Some(e);
+                    break 'solve;
+                }
+                Err(stop @ Stop::Cancelled) => return Err(stop.into()),
+            }
             evals += 1;
             changed |= eval_pair_constraint(c, &mut values);
         }
@@ -291,15 +375,25 @@ pub fn solve_pair_naive(sys: &PairSystem) -> PairSolution {
             break;
         }
     }
-    PairSolution {
+    Ok(PairSolution {
         values,
         passes,
         evals,
-    }
+        exhausted,
+    })
 }
 
 /// Worklist level-2 solver.
 pub fn solve_pair_worklist(sys: &PairSystem) -> PairSolution {
+    solve_pair_worklist_budgeted(sys, &mut BudgetMeter::unlimited())
+        .unwrap_or_else(|_| unreachable_partial!(PairSolution))
+}
+
+/// [`solve_pair_worklist`] under a budget.
+pub fn solve_pair_worklist_budgeted(
+    sys: &PairSystem,
+    meter: &mut BudgetMeter,
+) -> Result<PairSolution, Fx10Error> {
     let mut values = vec![PairSet::empty(sys.universe); sys.n_vars];
     let mut deps: Vec<Vec<u32>> = vec![Vec::new(); sys.n_vars];
     for (ci, c) in sys.constraints.iter().enumerate() {
@@ -310,10 +404,18 @@ pub fn solve_pair_worklist(sys: &PairSystem) -> PairSolution {
         }
     }
     let mut on_queue = vec![true; sys.constraints.len()];
-    let mut queue: std::collections::VecDeque<u32> =
-        (0..sys.constraints.len() as u32).collect();
+    let mut queue: std::collections::VecDeque<u32> = (0..sys.constraints.len() as u32).collect();
     let mut evals = 0usize;
+    let mut exhausted = None;
     while let Some(ci) = queue.pop_front() {
+        match meter.tick() {
+            Ok(()) => {}
+            Err(Stop::Exhausted(e)) => {
+                exhausted = Some(e);
+                break;
+            }
+            Err(stop @ Stop::Cancelled) => return Err(stop.into()),
+        }
         on_queue[ci as usize] = false;
         let c = &sys.constraints[ci as usize];
         evals += 1;
@@ -326,11 +428,12 @@ pub fn solve_pair_worklist(sys: &PairSystem) -> PairSolution {
             }
         }
     }
-    PairSolution {
+    Ok(PairSolution {
         values,
         passes: 0,
         evals,
-    }
+        exhausted,
+    })
 }
 
 #[cfg(test)]
@@ -339,10 +442,7 @@ mod tests {
     use std::sync::Arc;
 
     fn c(labels: &[u32]) -> SharedLabelSet {
-        Arc::new(LabelSet::from_labels(
-            16,
-            labels.iter().map(|&l| Label(l)),
-        ))
+        Arc::new(LabelSet::from_labels(16, labels.iter().map(|&l| Label(l))))
     }
 
     fn sys_chain() -> SetSystem {
@@ -449,7 +549,10 @@ mod tests {
                 },
                 PairConstraint {
                     lhs: PairVar(1),
-                    terms: vec![PairTerm::MVar(PairVar(0)), PairTerm::Lcross(Label(1), c(&[1]))],
+                    terms: vec![
+                        PairTerm::MVar(PairVar(0)),
+                        PairTerm::Lcross(Label(1), c(&[1])),
+                    ],
                 },
             ],
         };

@@ -23,8 +23,8 @@
 
 use crate::sets::{LabelSet, PairSet};
 use crate::slabels::SlabelsResult;
-use fx10_syntax::{FuncId, InstrKind, Program, Stmt};
 use fx10_semantics::Tree;
+use fx10_syntax::{FuncId, InstrKind, Program, Stmt};
 
 /// One method's type: the pair `(M_i, O_i)`.
 #[derive(Debug, Clone, PartialEq, Eq)]

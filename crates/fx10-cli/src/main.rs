@@ -11,11 +11,27 @@
 //! fx10 x10     <file.x10>  [--ci]             X10-Lite condensed analysis
 //! fx10 bench   <name|all>                     run a suite benchmark
 //! ```
+//!
+//! Every command accepts the resource-budget flags `--budget-states`,
+//! `--budget-iters` and `--timeout-ms`; a budget-cut run reports its
+//! partial result, says which budget tripped, and exits 3.
+//!
+//! Exit codes:
+//!
+//! | code | meaning |
+//! |------|---------------------------------------------------|
+//! | 0    | success, conclusive answer                        |
+//! | 1    | analysis error (parse / validation / io / unsound)|
+//! | 2    | usage error                                       |
+//! | 3    | budget exhausted — result partial / inconclusive  |
+//! | 4    | cancelled, or a worker thread panicked            |
 
-use fx10_core::analyze;
-use fx10_semantics::{explore, run, ExploreConfig, Scheduler};
+use fx10_core::{analyze_with_budget, analyze_with_fallback, AnalysisPath};
+use fx10_robust::{Budget, CancelToken, Exhaustion, Fx10Error};
+use fx10_semantics::{explore_budgeted, run_budgeted, ExploreConfig, Scheduler};
 use fx10_syntax::Program;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -27,7 +43,12 @@ fn usage() -> ExitCode {
            --max-states N                               exploration cap\n\
            --ci                                         context-insensitive analysis\n\
            --solver <naive|worklist|scc|scc-par>        fixed-point algorithm\n\
-           --places                                     same-place MHP refinement (x10)"
+           --places                                     same-place MHP refinement (x10)\n\
+           --budget-states N                            distinct-state budget (exit 3 when cut)\n\
+           --budget-iters N                             solver constraint-evaluation budget\n\
+           --timeout-ms N                               wall-clock budget for the command\n\
+           --fallback-ci                                degrade CS -> CI when the budget trips (mhp)\n\
+         exit codes: 0 ok, 1 analysis error, 2 usage, 3 budget exhausted, 4 cancelled/panicked"
     );
     ExitCode::from(2)
 }
@@ -40,6 +61,35 @@ struct Opts {
     ci: bool,
     solver: fx10_core::analysis::SolverKind,
     places: bool,
+    budget_states: Option<usize>,
+    budget_iters: Option<u64>,
+    timeout_ms: Option<u64>,
+    fallback_ci: bool,
+}
+
+impl Opts {
+    /// The resource budget requested on the command line.
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(n) = self.budget_states {
+            b = b.with_max_states(n);
+        }
+        if let Some(n) = self.budget_iters {
+            b = b.with_max_iters(n);
+        }
+        if let Some(ms) = self.timeout_ms {
+            b = b.with_timeout(Duration::from_millis(ms));
+        }
+        b
+    }
+
+    fn mode(&self) -> fx10_core::Mode {
+        if self.ci {
+            fx10_core::Mode::ContextInsensitive { keep_scross: true }
+        } else {
+            fx10_core::Mode::ContextSensitive
+        }
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -51,6 +101,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         ci: false,
         solver: fx10_core::analysis::SolverKind::Naive,
         places: false,
+        budget_states: None,
+        budget_iters: None,
+        timeout_ms: None,
+        fallback_ci: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -62,9 +116,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     ["leftmost"] => Scheduler::Leftmost,
                     ["rightmost"] => Scheduler::Rightmost,
                     ["random"] => Scheduler::Random(0xf10),
-                    ["random", seed] => {
-                        Scheduler::Random(seed.parse().map_err(|_| "bad seed")?)
-                    }
+                    ["random", seed] => Scheduler::Random(seed.parse().map_err(|_| "bad seed")?),
                     _ => return Err(format!("unknown scheduler `{v}`")),
                 };
             }
@@ -93,6 +145,34 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "bad state count")?;
             }
+            "--budget-states" => {
+                i += 1;
+                o.budget_states = Some(
+                    args.get(i)
+                        .ok_or("--budget-states needs a value")?
+                        .parse()
+                        .map_err(|_| "bad state budget")?,
+                );
+            }
+            "--budget-iters" => {
+                i += 1;
+                o.budget_iters = Some(
+                    args.get(i)
+                        .ok_or("--budget-iters needs a value")?
+                        .parse()
+                        .map_err(|_| "bad iteration budget")?,
+                );
+            }
+            "--timeout-ms" => {
+                i += 1;
+                o.timeout_ms = Some(
+                    args.get(i)
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad timeout")?,
+                );
+            }
+            "--fallback-ci" => o.fallback_ci = true,
             "--ci" => o.ci = true,
             "--places" => o.places = true,
             "--solver" => {
@@ -117,9 +197,350 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(o)
 }
 
-fn load(path: &str) -> Result<Program, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    Program::parse(&src).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<Program, Fx10Error> {
+    let src = std::fs::read_to_string(path).map_err(|e| Fx10Error::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    Program::parse(&src).map_err(|e| Fx10Error::Parse {
+        line: e.line,
+        message: e.message,
+    })
+}
+
+/// What a command run concluded. `Inconclusive` means a budget cut the
+/// computation short: the printed result is partial and the process exits
+/// with code 3 so scripts can tell "no race found" from "ran out of gas".
+enum Verdict {
+    Conclusive,
+    Inconclusive(Exhaustion),
+}
+
+impl Verdict {
+    fn of(exhausted: Option<Exhaustion>) -> Self {
+        match exhausted {
+            Some(e) => Verdict::Inconclusive(e),
+            None => Verdict::Conclusive,
+        }
+    }
+}
+
+fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Error> {
+    let budget = opts.budget();
+    let cancel = CancelToken::new();
+    match cmd {
+        "parse" => {
+            let p = load(target)?;
+            println!(
+                "{} method(s), {} instruction(s), array length {}",
+                p.method_count(),
+                p.label_count(),
+                p.array_len()
+            );
+            print!("{}", fx10_syntax::pretty::program(&p));
+            Ok(Verdict::Conclusive)
+        }
+        "run" => {
+            let p = load(target)?;
+            let out = run_budgeted(
+                &p,
+                &opts.input,
+                opts.sched.clone(),
+                opts.steps,
+                budget,
+                &cancel,
+            )?;
+            if out.completed {
+                println!("completed in {} steps", out.steps);
+            } else if let Some(e) = out.exhausted {
+                println!("{e} exhausted after {} steps", out.steps);
+            }
+            println!("a = {:?}", out.array.cells());
+            println!("result a[0] = {}", out.array.result());
+            Ok(Verdict::of(out.exhausted))
+        }
+        "explore" => {
+            let p = load(target)?;
+            let e = explore_budgeted(
+                &p,
+                &opts.input,
+                ExploreConfig {
+                    max_states: opts.max_states,
+                    ..ExploreConfig::default()
+                },
+                budget,
+                &cancel,
+            )?;
+            println!(
+                "{} state(s) visited{}, {} terminal(s), deadlock-free: {}",
+                e.visited,
+                match e.exhausted {
+                    Some(x) => format!(" (truncated: {x} exhausted)"),
+                    None => String::new(),
+                },
+                e.terminals,
+                e.deadlock_free
+            );
+            println!("dynamic MHP pairs ({}):", e.mhp.len());
+            for &(a, b) in &e.mhp {
+                println!("  ({}, {})", p.labels().display(a), p.labels().display(b));
+            }
+            Ok(Verdict::of(e.exhausted))
+        }
+        "mhp" => {
+            let p = load(target)?;
+            let a = if opts.fallback_ci && !opts.ci {
+                let out = analyze_with_fallback(&p, opts.solver, budget, budget, &cancel)?;
+                if out.path == AnalysisPath::ContextInsensitiveFallback {
+                    let why = out
+                        .cs_exhaustion
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "budget".to_string());
+                    println!(
+                        "context-sensitive analysis exhausted its {why}; \
+                         answering with the context-insensitive over-approximation"
+                    );
+                }
+                out.analysis
+            } else {
+                analyze_with_budget(&p, opts.mode(), opts.solver, budget, &cancel)?
+            };
+            println!(
+                "{} analysis: {} constraint(s), iterations S/1/2 = {}/{}/{}",
+                match a.mode() {
+                    fx10_core::Mode::ContextSensitive => "context-sensitive",
+                    fx10_core::Mode::ContextInsensitive { .. } => "context-insensitive",
+                },
+                a.stats.slabels_constraints
+                    + a.stats.level1_constraints
+                    + a.stats.level2_constraints,
+                a.stats.slabels_passes,
+                a.stats.level1_passes,
+                a.stats.level2_passes
+            );
+            let pairs = a.pairs_named(&p);
+            println!("MHP pairs ({}):", pairs.len());
+            for (x, y) in pairs {
+                println!("  ({x}, {y})");
+            }
+            let rep = fx10_core::report::async_pairs(&a);
+            print!("{}", fx10_core::report::render_report(&p, &rep));
+            // A fallback analysis that *completed* is conclusive (a sound
+            // over-approximation); a budget-cut one is not.
+            if let Some(e) = a.exhausted {
+                println!("INCONCLUSIVE ({e} exhausted) — pair set is partial");
+            }
+            Ok(Verdict::of(a.exhausted))
+        }
+        "race" => {
+            let p = load(target)?;
+            let a = analyze_with_budget(&p, opts.mode(), opts.solver, budget, &cancel)?;
+            let races = fx10_core::race::detect_races(&p, &a);
+            print!("{}", fx10_core::race::render_races(&p, &races));
+            if let Some(e) = a.exhausted {
+                println!("INCONCLUSIVE ({e} exhausted) — race report is partial");
+            }
+            Ok(Verdict::of(a.exhausted))
+        }
+        "check" => {
+            let p = load(target)?;
+            let a = analyze_with_budget(
+                &p,
+                fx10_core::Mode::ContextSensitive,
+                opts.solver,
+                budget,
+                &cancel,
+            )?;
+            let e = explore_budgeted(
+                &p,
+                &opts.input,
+                ExploreConfig {
+                    max_states: opts.max_states,
+                    ..ExploreConfig::default()
+                },
+                budget,
+                &cancel,
+            )?;
+            // A budget-cut *static* analysis is an under-approximation, so
+            // "dynamic pair missing statically" would be a false alarm:
+            // report inconclusive instead of unsound.
+            if let Some(x) = a.exhausted {
+                println!(
+                    "dynamic pairs: {} ({} states), static pairs: {} (partial)",
+                    e.mhp.len(),
+                    e.visited,
+                    a.mhp().len()
+                );
+                println!("INCONCLUSIVE ({x} exhausted during static analysis)");
+                return Ok(Verdict::Inconclusive(x));
+            }
+            let mut missing = 0usize;
+            for &(x, y) in &e.mhp {
+                if !a.may_happen_in_parallel(x, y) {
+                    missing += 1;
+                    println!(
+                        "UNSOUND: dynamic pair ({}, {}) not in static MHP",
+                        p.labels().display(x),
+                        p.labels().display(y)
+                    );
+                }
+            }
+            let static_n = a.mhp().len();
+            println!(
+                "dynamic pairs: {} ({} states{}), static pairs: {}, deadlock-free: {}",
+                e.mhp.len(),
+                e.visited,
+                if e.truncated { ", truncated" } else { "" },
+                static_n,
+                e.deadlock_free
+            );
+            if missing > 0 {
+                return Err(Fx10Error::Validate(format!(
+                    "{missing} dynamic pair(s) missing statically"
+                )));
+            }
+            println!("soundness check PASSED (dynamic ⊆ static)");
+            // The §8 precision probe: the static overapproximation
+            // minus the dynamic underapproximation bounds the false
+            // positives. Exact when the exploration completed.
+            let gap: Vec<(String, String)> = a
+                .mhp()
+                .iter_pairs()
+                .filter(|&(x, y)| !e.mhp.contains(&(x.min(y), x.max(y))))
+                .map(|(x, y)| (p.labels().display(x), p.labels().display(y)))
+                .collect();
+            if gap.is_empty() {
+                println!(
+                    "precision: static == dynamic — zero false positives{}",
+                    if e.truncated {
+                        " (on the explored prefix)"
+                    } else {
+                        ""
+                    }
+                );
+            } else {
+                println!(
+                    "precision gap ({} pair(s) static-only{}):",
+                    gap.len(),
+                    if e.truncated {
+                        " — upper bound, exploration truncated"
+                    } else {
+                        " — exact false positives"
+                    }
+                );
+                for (x, y) in gap {
+                    println!("  ({x}, {y})");
+                }
+            }
+            // A truncated exploration proved soundness only on the
+            // explored prefix: surface that as inconclusive (exit 3).
+            if e.truncated {
+                println!("INCONCLUSIVE (state budget exhausted)");
+                return Ok(Verdict::Inconclusive(
+                    e.exhausted.unwrap_or(Exhaustion::States),
+                ));
+            }
+            Ok(Verdict::Conclusive)
+        }
+        "x10" => {
+            let src = std::fs::read_to_string(target).map_err(|e| Fx10Error::Io {
+                path: target.to_string(),
+                message: e.to_string(),
+            })?;
+            let p = fx10_frontend::parse(&src).map_err(|e| Fx10Error::Parse {
+                line: e.line,
+                message: e.message,
+            })?;
+            let a = fx10_frontend::analyze_condensed_budgeted(
+                &p,
+                opts.mode(),
+                opts.solver,
+                budget,
+                &cancel,
+            )?;
+            let c = p.node_counts();
+            println!(
+                "{} nodes ({} methods), asyncs: {:?}",
+                c.total(),
+                c.method,
+                p.async_stats()
+            );
+            println!(
+                "constraints S/1/2 = {}/{}/{}, iterations = {}/{}/{}, {:.1} ms",
+                a.stats.slabels_constraints,
+                a.stats.level1_constraints,
+                a.stats.level2_constraints,
+                a.stats.slabels_passes,
+                a.stats.level1_passes,
+                a.stats.level2_passes,
+                a.stats.millis
+            );
+            let rep = fx10_frontend::async_pairs_condensed(&a);
+            println!(
+                "async-body MHP pairs: total={} self={} same={} diff={}",
+                rep.total(),
+                rep.self_pairs,
+                rep.same_method,
+                rep.diff_method
+            );
+            if opts.places {
+                let places = fx10_frontend::PlaceAssignment::compute(&p);
+                let refined = fx10_frontend::same_place_pairs(&a, &places);
+                println!(
+                    "places refinement: {} abstract place(s); {} of {} MHP pairs may contend at one place",
+                    places.place_count(),
+                    refined.len(),
+                    a.mhp().len()
+                );
+            }
+            if let Some(e) = a.exhausted {
+                println!("INCONCLUSIVE ({e} exhausted) — pair set is partial");
+            }
+            Ok(Verdict::of(a.exhausted))
+        }
+        "bench" => {
+            let names: Vec<&str> = if target == "all" {
+                fx10_suite::SPECS.iter().map(|s| s.name).collect()
+            } else {
+                vec![target]
+            };
+            let mut cut: Option<Exhaustion> = None;
+            for name in names {
+                let bm = fx10_suite::benchmark(name)
+                    .ok_or_else(|| Fx10Error::Validate(format!("unknown benchmark `{name}`")))?;
+                let a = fx10_frontend::analyze_condensed_budgeted(
+                    &bm.program,
+                    opts.mode(),
+                    opts.solver,
+                    budget,
+                    &cancel,
+                )?;
+                let rep = fx10_frontend::async_pairs_condensed(&a);
+                println!(
+                    "{:<12} {:>8.1} ms  {:>7.2} MB  iters {}/{}/{}  pairs {}/{}/{}/{}{}",
+                    name,
+                    a.stats.millis,
+                    a.stats.bytes as f64 / 1e6,
+                    a.stats.slabels_passes,
+                    a.stats.level1_passes,
+                    a.stats.level2_passes,
+                    rep.total(),
+                    rep.self_pairs,
+                    rep.same_method,
+                    rep.diff_method,
+                    match a.exhausted {
+                        Some(e) => format!("  [{e} exhausted]"),
+                        None => String::new(),
+                    }
+                );
+                if let Some(e) = a.exhausted {
+                    cut.get_or_insert(e);
+                }
+            }
+            Ok(Verdict::of(cut))
+        }
+        other => Err(Fx10Error::Validate(format!("unknown command `{other}`"))),
+    }
 }
 
 fn main() -> ExitCode {
@@ -128,6 +549,13 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
+    const COMMANDS: &[&str] = &[
+        "parse", "run", "explore", "mhp", "race", "check", "x10", "bench",
+    ];
+    if !COMMANDS.contains(&cmd) {
+        eprintln!("error: unknown command `{cmd}`");
+        return usage();
+    }
     let (target, optargs) = match rest.split_first() {
         Some((t, o)) => (t.as_str(), o),
         None => return usage(),
@@ -140,243 +568,15 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = (|| -> Result<(), String> {
-        match cmd {
-            "parse" => {
-                let p = load(target)?;
-                println!(
-                    "{} method(s), {} instruction(s), array length {}",
-                    p.method_count(),
-                    p.label_count(),
-                    p.array_len()
-                );
-                print!("{}", fx10_syntax::pretty::program(&p));
-            }
-            "run" => {
-                let p = load(target)?;
-                let out = run(&p, &opts.input, opts.sched, opts.steps);
-                if out.completed {
-                    println!("completed in {} steps", out.steps);
-                } else {
-                    println!("step budget ({}) exhausted", opts.steps);
-                }
-                println!("a = {:?}", out.array.cells());
-                println!("result a[0] = {}", out.array.result());
-            }
-            "explore" => {
-                let p = load(target)?;
-                let e = explore(
-                    &p,
-                    &opts.input,
-                    ExploreConfig {
-                        max_states: opts.max_states,
-                        ..ExploreConfig::default()
-                    },
-                );
-                println!(
-                    "{} state(s) visited{}, {} terminal(s), deadlock-free: {}",
-                    e.visited,
-                    if e.truncated { " (truncated)" } else { "" },
-                    e.terminals,
-                    e.deadlock_free
-                );
-                println!("dynamic MHP pairs ({}):", e.mhp.len());
-                for &(a, b) in &e.mhp {
-                    println!(
-                        "  ({}, {})",
-                        p.labels().display(a),
-                        p.labels().display(b)
-                    );
-                }
-            }
-            "mhp" => {
-                let p = load(target)?;
-                let mode = if opts.ci {
-                    fx10_core::Mode::ContextInsensitive { keep_scross: true }
-                } else {
-                    fx10_core::Mode::ContextSensitive
-                };
-                let a = fx10_core::analyze_with(&p, mode, opts.solver);
-                println!(
-                    "{} analysis: {} constraint(s), iterations S/1/2 = {}/{}/{}",
-                    if opts.ci {
-                        "context-insensitive"
-                    } else {
-                        "context-sensitive"
-                    },
-                    a.stats.slabels_constraints
-                        + a.stats.level1_constraints
-                        + a.stats.level2_constraints,
-                    a.stats.slabels_passes,
-                    a.stats.level1_passes,
-                    a.stats.level2_passes
-                );
-                let pairs = a.pairs_named(&p);
-                println!("MHP pairs ({}):", pairs.len());
-                for (x, y) in pairs {
-                    println!("  ({x}, {y})");
-                }
-                let rep = fx10_core::report::async_pairs(&a);
-                print!("{}", fx10_core::report::render_report(&p, &rep));
-            }
-            "race" => {
-                let p = load(target)?;
-                let a = analyze(&p);
-                let races = fx10_core::race::detect_races(&p, &a);
-                print!("{}", fx10_core::race::render_races(&p, &races));
-            }
-            "check" => {
-                let p = load(target)?;
-                let a = analyze(&p);
-                let e = explore(
-                    &p,
-                    &opts.input,
-                    ExploreConfig {
-                        max_states: opts.max_states,
-                        ..ExploreConfig::default()
-                    },
-                );
-                let mut missing = 0usize;
-                for &(x, y) in &e.mhp {
-                    if !a.may_happen_in_parallel(x, y) {
-                        missing += 1;
-                        println!(
-                            "UNSOUND: dynamic pair ({}, {}) not in static MHP",
-                            p.labels().display(x),
-                            p.labels().display(y)
-                        );
-                    }
-                }
-                let static_n = a.mhp().len();
-                println!(
-                    "dynamic pairs: {} ({} states{}), static pairs: {}, deadlock-free: {}",
-                    e.mhp.len(),
-                    e.visited,
-                    if e.truncated { ", truncated" } else { "" },
-                    static_n,
-                    e.deadlock_free
-                );
-                if missing == 0 {
-                    println!("soundness check PASSED (dynamic ⊆ static)");
-                } else {
-                    return Err(format!("{missing} dynamic pair(s) missing statically"));
-                }
-                // The §8 precision probe: the static overapproximation
-                // minus the dynamic underapproximation bounds the false
-                // positives. Exact when the exploration completed.
-                let gap: Vec<(String, String)> = a
-                    .mhp()
-                    .iter_pairs()
-                    .filter(|&(x, y)| !e.mhp.contains(&(x.min(y), x.max(y))))
-                    .map(|(x, y)| (p.labels().display(x), p.labels().display(y)))
-                    .collect();
-                if gap.is_empty() {
-                    println!(
-                        "precision: static == dynamic — zero false positives{}",
-                        if e.truncated { " (on the explored prefix)" } else { "" }
-                    );
-                } else {
-                    println!(
-                        "precision gap ({} pair(s) static-only{}):",
-                        gap.len(),
-                        if e.truncated {
-                            " — upper bound, exploration truncated"
-                        } else {
-                            " — exact false positives"
-                        }
-                    );
-                    for (x, y) in gap {
-                        println!("  ({x}, {y})");
-                    }
-                }
-            }
-            "x10" => {
-                let src =
-                    std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
-                let p = fx10_frontend::parse(&src).map_err(|e| format!("{target}: {e}"))?;
-                let mode = if opts.ci {
-                    fx10_core::Mode::ContextInsensitive { keep_scross: true }
-                } else {
-                    fx10_core::Mode::ContextSensitive
-                };
-                let a = fx10_frontend::analyze_condensed(&p, mode, opts.solver);
-                let c = p.node_counts();
-                println!(
-                    "{} nodes ({} methods), asyncs: {:?}",
-                    c.total(),
-                    c.method,
-                    p.async_stats()
-                );
-                println!(
-                    "constraints S/1/2 = {}/{}/{}, iterations = {}/{}/{}, {:.1} ms",
-                    a.stats.slabels_constraints,
-                    a.stats.level1_constraints,
-                    a.stats.level2_constraints,
-                    a.stats.slabels_passes,
-                    a.stats.level1_passes,
-                    a.stats.level2_passes,
-                    a.stats.millis
-                );
-                let rep = fx10_frontend::async_pairs_condensed(&a);
-                println!(
-                    "async-body MHP pairs: total={} self={} same={} diff={}",
-                    rep.total(),
-                    rep.self_pairs,
-                    rep.same_method,
-                    rep.diff_method
-                );
-                if opts.places {
-                    let places = fx10_frontend::PlaceAssignment::compute(&p);
-                    let refined = fx10_frontend::same_place_pairs(&a, &places);
-                    println!(
-                        "places refinement: {} abstract place(s); {} of {} MHP pairs may contend at one place",
-                        places.place_count(),
-                        refined.len(),
-                        a.mhp().len()
-                    );
-                }
-            }
-            "bench" => {
-                let names: Vec<&str> = if target == "all" {
-                    fx10_suite::SPECS.iter().map(|s| s.name).collect()
-                } else {
-                    vec![target]
-                };
-                for name in names {
-                    let bm = fx10_suite::benchmark(name)
-                        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-                    let mode = if opts.ci {
-                        fx10_core::Mode::ContextInsensitive { keep_scross: true }
-                    } else {
-                        fx10_core::Mode::ContextSensitive
-                    };
-                    let a = fx10_frontend::analyze_condensed(&bm.program, mode, opts.solver);
-                    let rep = fx10_frontend::async_pairs_condensed(&a);
-                    println!(
-                        "{:<12} {:>8.1} ms  {:>7.2} MB  iters {}/{}/{}  pairs {}/{}/{}/{}",
-                        name,
-                        a.stats.millis,
-                        a.stats.bytes as f64 / 1e6,
-                        a.stats.slabels_passes,
-                        a.stats.level1_passes,
-                        a.stats.level2_passes,
-                        rep.total(),
-                        rep.self_pairs,
-                        rep.same_method,
-                        rep.diff_method
-                    );
-                }
-            }
-            _ => return Err(format!("unknown command `{cmd}`")),
+    match run_command(cmd, target, &opts) {
+        Ok(Verdict::Conclusive) => ExitCode::SUCCESS,
+        Ok(Verdict::Inconclusive(e)) => {
+            eprintln!("inconclusive: {e} exhausted");
+            ExitCode::from(3)
         }
-        Ok(())
-    })();
-
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -205,10 +205,7 @@ mod tests {
         let leaf = prop_oneof![3 => Just(skip()), 2 => Just(next())];
         leaf.prop_recursive(depth, 16, 3, |inner| {
             let body = proptest::collection::vec(inner, 0..3);
-            prop_oneof![
-                body.clone().prop_map(async_),
-                body.prop_map(casync),
-            ]
+            prop_oneof![body.clone().prop_map(async_), body.prop_map(casync),]
         })
     }
 

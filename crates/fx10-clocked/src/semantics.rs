@@ -117,8 +117,7 @@ fn successors(c: &Config) -> Vec<Config> {
                 }
             }
             CKind::Async(body) | CKind::CAsync(body) => {
-                let clocked = matches!(a.stmt.head().kind, CKind::CAsync(_))
-                    && a.registered;
+                let clocked = matches!(a.stmt.head().kind, CKind::CAsync(_)) && a.registered;
                 rest.push(Activity {
                     stmt: body,
                     registered: clocked,
@@ -330,10 +329,7 @@ mod tests {
         // activities CAN sit at the same label when an async body spawns
         // itself... not expressible without loops; instead check two
         // spawns of distinct asyncs yield no self pairs.
-        let p = CProgram::new(vec![
-            async_(vec![skip()]),
-            async_(vec![skip()]),
-        ]);
+        let p = CProgram::new(vec![async_(vec![skip()]), async_(vec![skip()])]);
         let e = mhp_of(&p);
         for &(a, b) in &e.mhp {
             assert_ne!(a, b, "distinct labels only");

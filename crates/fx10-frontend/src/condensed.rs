@@ -430,7 +430,11 @@ mod tests {
             vec![
                 (
                     "f".into(),
-                    vec![CAst::Async(vec![CAst::Skip], false), CAst::Return, CAst::End],
+                    vec![
+                        CAst::Async(vec![CAst::Skip], false),
+                        CAst::Return,
+                        CAst::End,
+                    ],
                 ),
                 (
                     "main".into(),
@@ -505,8 +509,8 @@ mod tests {
 
     #[test]
     fn unknown_callee_rejected() {
-        let err = CProgram::new(vec![("main".into(), vec![CAst::Call("g".into())])], 1)
-            .unwrap_err();
+        let err =
+            CProgram::new(vec![("main".into(), vec![CAst::Call("g".into())])], 1).unwrap_err();
         assert_eq!(err, CError::UnknownMethod("g".into()));
     }
 }

@@ -147,9 +147,7 @@ fn task_successors(p: &CProgram, t: &Task, loop_bound: u8) -> Vec<CTree> {
             debug_assert!(iterations_left > 0);
             // Exit.
             let mut exit = t.clone();
-            exit.frames.last_mut().unwrap().kind = FrameKind::Loop {
-                iterations_left: 0,
-            };
+            exit.frames.last_mut().unwrap().kind = FrameKind::Loop { iterations_left: 0 };
             out.push(CTree::leaf(exit));
             // Re-enter.
             let mut again = t.clone();
@@ -404,10 +402,7 @@ mod tests {
         let p = prog(vec![(
             "main",
             vec![
-                CAst::If(
-                    vec![CAst::Async(vec![CAst::Skip], false)],
-                    vec![CAst::Skip],
-                ),
+                CAst::If(vec![CAst::Async(vec![CAst::Skip], false)], vec![CAst::Skip]),
                 CAst::Skip,
             ],
         )]);

@@ -23,10 +23,12 @@ use crate::condensed::{CBlock, CFuncId, CNodeKind, CProgram};
 use fx10_core::analysis::{AnalysisStats, SolverKind};
 use fx10_core::sets::{LabelSet, PairSet, SharedLabelSet};
 use fx10_core::solver::{
-    solve_pair_naive, solve_pair_worklist, solve_set_naive, solve_set_worklist, PairConstraint,
-    PairSystem, PairTerm, PairVar, SetConstraint, SetSolution, SetSystem, SetTerm, SetVar,
+    solve_pair_naive_budgeted, solve_pair_worklist_budgeted, solve_set_naive_budgeted,
+    solve_set_worklist_budgeted, PairConstraint, PairSystem, PairTerm, PairVar, SetConstraint,
+    SetSolution, SetSystem, SetTerm, SetVar,
 };
 use fx10_core::Mode;
+use fx10_robust::{Budget, BudgetMeter, CancelToken, Exhaustion, Fx10Error, Stop};
 use fx10_syntax::Label;
 use std::sync::Arc;
 
@@ -66,6 +68,9 @@ pub struct CondensedAnalysis {
     pub asyncs: Vec<CAsyncSite>,
     /// Counters matching Figures 6 and 8.
     pub stats: AnalysisStats,
+    /// `Some` when a budget cut a solver phase short: the sets are then a
+    /// sound under-approximation of the analysis's answer.
+    pub exhausted: Option<Exhaustion>,
 }
 
 impl CondensedAnalysis {
@@ -125,7 +130,10 @@ impl<'a> GenState<'a> {
         let (method, sub) = if lhs_index >= n_for_kind {
             ((lhs_index - n_for_kind) as u32, u32::MAX)
         } else {
-            (self.label_method[lhs_index], (n_for_kind - lhs_index) as u32)
+            (
+                self.label_method[lhs_index],
+                (n_for_kind - lhs_index) as u32,
+            )
         };
         (((self.u as u32).saturating_sub(1 + method)) as u64) << 32 | sub as u64
     }
@@ -207,7 +215,11 @@ impl<'a> GenState<'a> {
         next
     }
 
-    fn solve_slabels(&mut self, solver: SolverKind) -> (usize, usize, usize) {
+    fn solve_slabels(
+        &mut self,
+        solver: SolverKind,
+        meter: &mut BudgetMeter,
+    ) -> Result<(usize, usize, usize), Fx10Error> {
         let mut constraints = Vec::new();
         let mut firsts = Vec::with_capacity(self.u);
         let methods: Vec<CBlock> = self.p.methods().iter().map(|m| m.body.clone()).collect();
@@ -230,12 +242,12 @@ impl<'a> GenState<'a> {
             constraints,
         };
         let sol = match solver {
-            SolverKind::Naive => solve_set_naive(&sys),
-            _ => solve_set_worklist(&sys),
+            SolverKind::Naive => solve_set_naive_budgeted(&sys, meter)?,
+            _ => solve_set_worklist_budgeted(&sys, meter)?,
         };
         let (passes, evals) = (sol.passes, sol.evals);
         self.slab = Some(sol);
-        (count, passes, evals)
+        Ok((count, passes, evals))
     }
 
     fn slab_of_block(&self, b: &CBlock) -> LabelSet {
@@ -277,10 +289,7 @@ impl<'a> GenState<'a> {
                 None => r_seed.clone(),
                 Some(po) => vec![SetTerm::Var(po)],
             };
-            self.l1.push(SetConstraint {
-                lhs: r_node,
-                terms,
-            });
+            self.l1.push(SetConstraint { lhs: r_node, terms });
 
             // Slabels of the continuation after this node (phase-A var).
             let next_slab = match b.nodes.get(i + 1) {
@@ -303,8 +312,7 @@ impl<'a> GenState<'a> {
                     });
                     // Labels live at the early exit may be live when the
                     // call returns.
-                    self.method_o_terms[self.current_method.index()]
-                        .push(SetTerm::Var(r_node));
+                    self.method_o_terms[self.current_method.index()].push(SetTerm::Var(r_node));
                 }
                 CNodeKind::Async { body, .. } => {
                     let body_slab = self.slab_of_block(body);
@@ -348,8 +356,7 @@ impl<'a> GenState<'a> {
                     // (68)–(71), loop = while: body assumed to run ≥ 2×.
                     let body_slab = Arc::new(self.slab_of_block(body));
                     let empty = self.slab_empty();
-                    let o_body = match self.gen_block(body, vec![SetTerm::Var(r_node)], empty)
-                    {
+                    let o_body = match self.gen_block(body, vec![SetTerm::Var(r_node)], empty) {
                         Some((o_body, m_body)) => {
                             m_terms.push(SymTerm::MVar(m_body));
                             o_body
@@ -441,15 +448,36 @@ impl<'a> GenState<'a> {
     }
 }
 
-/// Runs the full analysis pipeline on a condensed program.
+/// Runs the full analysis pipeline on a condensed program. Infallible
+/// legacy entry point (unlimited budget).
 pub fn analyze_condensed(p: &CProgram, mode: Mode, solver: SolverKind) -> CondensedAnalysis {
+    // An unlimited budget and an uncancellable token cannot trip.
+    analyze_condensed_budgeted(p, mode, solver, Budget::unlimited(), &CancelToken::new())
+        .expect("condensed analysis with an unlimited budget cannot fail")
+}
+
+/// [`analyze_condensed`] under a [`Budget`], observing `cancel`. Budget
+/// exhaustion tags the (partial, under-approximate) result; cancellation
+/// returns `Err`.
+pub fn analyze_condensed_budgeted(
+    p: &CProgram,
+    mode: Mode,
+    solver: SolverKind,
+    budget: Budget,
+    cancel: &CancelToken,
+) -> Result<CondensedAnalysis, Fx10Error> {
     let start = std::time::Instant::now();
+    let mut meter = BudgetMeter::new(budget, cancel.clone());
     let n = p.label_count();
     let u = p.method_count();
     let mut g = GenState::new(p, mode);
 
     // Phase A.
-    let (slab_count, slab_passes, slab_evals) = g.solve_slabels(solver);
+    let (slab_count, slab_passes, slab_evals) = g.solve_slabels(solver, &mut meter)?;
+    let slab_exhausted = g.slab.as_ref().and_then(|s| s.exhausted);
+    if let Err(stop @ Stop::Cancelled) = meter.checkpoint() {
+        return Err(stop.into());
+    }
 
     // Phases B+C: generate.
     let bodies: Vec<CBlock> = p.methods().iter().map(|m| m.body.clone()).collect();
@@ -493,9 +521,12 @@ pub fn analyze_condensed(p: &CProgram, mode: Mode, solver: SolverKind) -> Conden
         constraints: std::mem::take(&mut g.l1),
     };
     let l1 = match solver {
-        SolverKind::Naive => solve_set_naive(&l1_sys),
-        _ => solve_set_worklist(&l1_sys),
+        SolverKind::Naive => solve_set_naive_budgeted(&l1_sys, &mut meter)?,
+        _ => solve_set_worklist_budgeted(&l1_sys, &mut meter)?,
     };
+    if let Err(stop @ Stop::Cancelled) = meter.checkpoint() {
+        return Err(stop.into());
+    }
 
     // Simplify and solve level-2 (ordered for fast convergence; see rank).
     let mut l2_sorted = std::mem::take(&mut g.l2);
@@ -512,9 +543,7 @@ pub fn analyze_condensed(p: &CProgram, mode: Mode, solver: SolverKind) -> Conden
                 terms: terms
                     .iter()
                     .map(|t| match t {
-                        SymTerm::Lcross(l, v) => {
-                            PairTerm::Lcross(*l, Arc::new(l1.get(*v).clone()))
-                        }
+                        SymTerm::Lcross(l, v) => PairTerm::Lcross(*l, Arc::new(l1.get(*v).clone())),
                         SymTerm::SymcrossConst(c, v) => {
                             PairTerm::Symcross(c.clone(), Arc::new(l1.get(*v).clone()))
                         }
@@ -525,10 +554,20 @@ pub fn analyze_condensed(p: &CProgram, mode: Mode, solver: SolverKind) -> Conden
             .collect(),
     };
     let l2 = match solver {
-        SolverKind::Naive => solve_pair_naive(&l2_sys),
-        SolverKind::Worklist => solve_pair_worklist(&l2_sys),
-        SolverKind::Scc => fx10_core::scc::solve_pair_scc(&l2_sys),
-        SolverKind::SccParallel(t) => fx10_core::scc::solve_pair_scc_parallel(&l2_sys, t),
+        SolverKind::Naive => solve_pair_naive_budgeted(&l2_sys, &mut meter)?,
+        SolverKind::Worklist => solve_pair_worklist_budgeted(&l2_sys, &mut meter)?,
+        SolverKind::Scc => fx10_core::scc::solve_pair_scc_budgeted(&l2_sys, &mut meter)?,
+        SolverKind::SccParallel(t) => {
+            let sol = fx10_core::scc::solve_pair_scc_parallel_budgeted(
+                &l2_sys,
+                t,
+                meter.budget(),
+                cancel,
+                &fx10_robust::FaultPlan::none(),
+            )?;
+            let _ = meter.charge(sol.evals as u64);
+            sol
+        }
     };
 
     let stats = AnalysisStats {
@@ -543,7 +582,11 @@ pub fn analyze_condensed(p: &CProgram, mode: Mode, solver: SolverKind) -> Conden
         millis: start.elapsed().as_secs_f64() * 1e3,
     };
 
-    CondensedAnalysis {
+    let exhausted = slab_exhausted
+        .or(l1.exhausted)
+        .or(l2.exhausted)
+        .or(meter.exhaustion());
+    Ok(CondensedAnalysis {
         mode,
         m_methods: (0..u)
             .map(|i| l2.get(PairVar((n + i) as u32)).clone())
@@ -554,7 +597,8 @@ pub fn analyze_condensed(p: &CProgram, mode: Mode, solver: SolverKind) -> Conden
         main: p.main(),
         asyncs: std::mem::take(&mut g.asyncs),
         stats,
-    }
+        exhausted,
+    })
 }
 
 /// The Figure 8 async-body pair report for a condensed program, with the
@@ -656,7 +700,10 @@ mod tests {
         let (s3, s4) = (asyncs_in_main[0], asyncs_in_main[1]);
 
         let a = cs(&p);
-        assert!(!a.may_happen_in_parallel(s3, s4), "CS must separate call sites");
+        assert!(
+            !a.may_happen_in_parallel(s3, s4),
+            "CS must separate call sites"
+        );
         let ci = analyze_condensed(
             &p,
             Mode::ContextInsensitive { keep_scross: true },
@@ -666,9 +713,15 @@ mod tests {
         // And the pair report sees exactly 2 diff pairs under CS (A5×A3,
         // A5×A4) vs 3 under CI (adds A3×A4).
         let rep = async_pairs_condensed(&a);
-        assert_eq!((rep.self_pairs, rep.same_method, rep.diff_method), (0, 0, 2));
+        assert_eq!(
+            (rep.self_pairs, rep.same_method, rep.diff_method),
+            (0, 0, 2)
+        );
         let rep = async_pairs_condensed(&ci);
-        assert_eq!((rep.self_pairs, rep.same_method, rep.diff_method), (0, 1, 2));
+        assert_eq!(
+            (rep.self_pairs, rep.same_method, rep.diff_method),
+            (0, 1, 2)
+        );
     }
 
     #[test]
@@ -684,7 +737,11 @@ mod tests {
         )]);
         let a = cs(&p);
         // Labels: 0=if, 1=async, 2=S, 3=else-skip, 4=K.
-        assert!(a.may_happen_in_parallel(Label(2), Label(4)), "{:?}", a.mhp());
+        assert!(
+            a.may_happen_in_parallel(Label(2), Label(4)),
+            "{:?}",
+            a.mhp()
+        );
         // The two branches never run in parallel with each other.
         assert!(!a.may_happen_in_parallel(Label(2), Label(3)));
     }
@@ -750,7 +807,11 @@ mod tests {
         ]);
         let a = cs(&p);
         // Labels: 0=async, 1=S, 2=return, 3=call, 4=K.
-        assert!(a.may_happen_in_parallel(Label(1), Label(4)), "{:?}", a.mhp());
+        assert!(
+            a.may_happen_in_parallel(Label(1), Label(4)),
+            "{:?}",
+            a.mhp()
+        );
     }
 
     #[test]

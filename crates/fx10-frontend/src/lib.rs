@@ -10,7 +10,6 @@
 //! solvers and set domains; [`gen::analyze_condensed`] is the condensed
 //! analogue of `fx10_core::analyze`.
 
-
 #![warn(missing_docs)]
 pub mod condensed;
 pub mod csemantics;
@@ -22,6 +21,9 @@ pub use condensed::{
     AsyncStats, CAst, CBlock, CFuncId, CMethod, CNode, CNodeKind, CProgram, NodeCounts,
 };
 pub use csemantics::{explore_condensed, CondensedExploration};
-pub use gen::{analyze_condensed, async_pairs_condensed, CAsyncSite, CondensedAnalysis};
+pub use gen::{
+    analyze_condensed, analyze_condensed_budgeted, async_pairs_condensed, CAsyncSite,
+    CondensedAnalysis,
+};
 pub use places::{same_place_pairs, PlaceAssignment, PlaceId};
 pub use x10lite::{parse, pretty, X10ParseError};

@@ -232,10 +232,7 @@ mod tests {
 
     #[test]
     fn ateach_bodies_get_distinct_places() {
-        let p = parse(
-            "def main() { ateach (q) { compute; } async at (r) { compute; } }",
-        )
-        .unwrap();
+        let p = parse("def main() { ateach (q) { compute; } async at (r) { compute; } }").unwrap();
         let places = PlaceAssignment::compute(&p);
         // Labels: 0=loop, 1=async(at), 2=compute, 3=async at, 4=compute.
         let b1 = places.place(Label(2));

@@ -17,19 +17,30 @@
 //! freedom)**: every visited state is either `√` or has at least one
 //! successor.
 //!
-//! [`explore_parallel`] is a multi-threaded version (crossbeam scoped
-//! threads, sharded `parking_lot`-protected visited tables) for larger
-//! state spaces; it computes the same sets.
+//! ## Robustness
+//!
+//! The budgeted entry points ([`explore_budgeted`],
+//! [`explore_parallel_budgeted`]) accept a [`Budget`] (state cap,
+//! wall-clock deadline, peak visited-set memory), a [`CancelToken`], and
+//! — for the parallel engine — a [`FaultPlan`]. Budget exhaustion
+//! returns a *partial* [`Exploration`] tagged with its [`Exhaustion`]
+//! provenance; cancellation returns [`Fx10Error::Cancelled`]; a worker
+//! panic (organic or injected) is contained by `catch_unwind` and
+//! surfaces as [`Fx10Error::WorkerPanicked`] instead of aborting the
+//! process. Visited-set shards use `std::sync::Mutex` with explicit
+//! poison recovery so one panicked worker cannot wedge the others.
 
 use crate::parallel::{parallel, LabelPair};
 use crate::state::ArrayState;
 use crate::step::{initial_tree, successors};
 use crate::tree::Tree;
+use fx10_robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error};
 use fx10_syntax::Program;
-use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Exploration limits.
 #[derive(Debug, Clone, Copy)]
@@ -60,9 +71,13 @@ impl Default for ExploreConfig {
 pub struct Exploration {
     /// Number of distinct states visited.
     pub visited: usize,
-    /// True when `max_states` cut the search short (the MHP set is then a
+    /// True when a budget cut the search short (the MHP set is then a
     /// lower bound).
     pub truncated: bool,
+    /// Which resource truncated the search, when `truncated` is true.
+    /// `Some(States)` covers both the legacy `max_states` cap and an
+    /// explicit budget cap.
+    pub exhausted: Option<Exhaustion>,
     /// `∪ parallel(T)` over all visited states — dynamic MHP, as
     /// unordered label pairs.
     pub mhp: BTreeSet<LabelPair>,
@@ -79,24 +94,89 @@ struct State {
     tree: Tree,
 }
 
+impl State {
+    /// Approximate heap footprint, for the peak-set-memory budget.
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<State>()
+            + self.tree.node_count() * 48
+            + std::mem::size_of_val(self.array.cells())
+    }
+}
+
+/// How often the sequential explorer polls the clock and cancel token.
+const POLL_STRIDE: usize = 256;
+
 /// Sequential breadth-first exploration from `(A₀(input), ⟨s₀⟩)`.
+///
+/// Infallible legacy entry point: unlimited budget, no cancellation.
 pub fn explore(p: &Program, input: &[i64], config: ExploreConfig) -> Exploration {
-    let norm = |t: Tree| if config.normalize_admin { t.normalized() } else { t };
+    match explore_budgeted(p, input, config, Budget::unlimited(), &CancelToken::new()) {
+        Ok(e) => e,
+        // Unreachable: with no cancel token holder and no deadline the
+        // budgeted explorer cannot fail — but never panic on a library
+        // path; degrade to an empty truncated result instead.
+        Err(_) => Exploration {
+            visited: 0,
+            truncated: true,
+            exhausted: Some(Exhaustion::States),
+            mhp: BTreeSet::new(),
+            deadlock_free: true,
+            terminals: 0,
+        },
+    }
+}
+
+/// Sequential breadth-first exploration under a [`Budget`] and a
+/// [`CancelToken`].
+///
+/// Budget exhaustion (states, deadline, memory) returns `Ok` with a
+/// partial, [`Exploration::exhausted`]-tagged result; cancellation
+/// returns [`Fx10Error::Cancelled`].
+pub fn explore_budgeted(
+    p: &Program,
+    input: &[i64],
+    config: ExploreConfig,
+    budget: Budget,
+    cancel: &CancelToken,
+) -> Result<Exploration, Fx10Error> {
+    // A pre-cancelled token stops before any work; the in-flight poll
+    // below only fires on the stride.
+    cancel.check()?;
+    let max_states = budget
+        .max_states
+        .map_or(config.max_states, |b| b.min(config.max_states));
+    let norm = |t: Tree| {
+        if config.normalize_admin {
+            t.normalized()
+        } else {
+            t
+        }
+    };
     let init = State {
         array: ArrayState::with_input(p, input),
         tree: norm(initial_tree(p)),
     };
+    let mut approx_bytes = init.approx_bytes();
     let mut visited: HashSet<State> = HashSet::new();
     let mut queue: VecDeque<State> = VecDeque::new();
     visited.insert(init.clone());
     queue.push_back(init);
 
     let mut mhp = BTreeSet::new();
-    let mut truncated = false;
+    let mut exhausted: Option<Exhaustion> = None;
     let mut deadlock_free = true;
     let mut terminals = 0usize;
+    let mut processed = 0usize;
 
-    while let Some(st) = queue.pop_front() {
+    'bfs: while let Some(st) = queue.pop_front() {
+        processed += 1;
+        if processed.is_multiple_of(POLL_STRIDE) {
+            cancel.check()?;
+            if budget.deadline_exceeded() {
+                exhausted = Some(Exhaustion::Deadline);
+                break 'bfs;
+            }
+        }
         mhp.extend(parallel(&st.tree));
         if st.tree.is_done() {
             terminals += 1;
@@ -108,20 +188,22 @@ pub fn explore(p: &Program, input: &[i64], config: ExploreConfig) -> Exploration
             continue;
         }
         for s in succ {
-            if visited.len() >= config.max_states {
-                truncated = true;
-                break;
+            if visited.len() >= max_states {
+                exhausted = Some(Exhaustion::States);
+                break 'bfs;
+            }
+            if budget.memory_exhausted(approx_bytes) {
+                exhausted = Some(Exhaustion::Memory);
+                break 'bfs;
             }
             let next = State {
                 array: s.array,
                 tree: norm(s.tree),
             };
             if visited.insert(next.clone()) {
+                approx_bytes += next.approx_bytes();
                 queue.push_back(next);
             }
-        }
-        if truncated {
-            break;
         }
     }
 
@@ -131,13 +213,14 @@ pub fn explore(p: &Program, input: &[i64], config: ExploreConfig) -> Exploration
         mhp.extend(parallel(&st.tree));
     }
 
-    Exploration {
+    Ok(Exploration {
         visited: visited.len(),
-        truncated,
+        truncated: exhausted.is_some(),
+        exhausted,
         mhp,
         deadlock_free,
         terminals,
-    }
+    })
 }
 
 const SHARDS: usize = 64;
@@ -148,18 +231,99 @@ fn shard_of(state: &State) -> usize {
     (h.finish() as usize) % SHARDS
 }
 
+/// Locks a shard, recovering from poisoning: a worker that panicked while
+/// holding the lock leaves the set in a superset-consistent state (the
+/// insert either happened or did not), so continuing is safe for a
+/// visited-set whose only invariant is "grows monotonically".
+fn lock_shard<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Multi-threaded exploration. Computes the same [`Exploration`] sets as
 /// [`explore`] (`visited` may differ by a few states around the truncation
 /// point; on non-truncated runs all fields except queue-order artifacts
-/// are identical).
+/// are identical). Infallible legacy entry point.
 pub fn explore_parallel(
     p: &Program,
     input: &[i64],
     config: ExploreConfig,
     threads: usize,
 ) -> Exploration {
+    match explore_parallel_budgeted(
+        p,
+        input,
+        config,
+        threads,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        &FaultPlan::none(),
+    ) {
+        Ok(e) => e,
+        Err(_) => Exploration {
+            visited: 0,
+            truncated: true,
+            exhausted: Some(Exhaustion::States),
+            mhp: BTreeSet::new(),
+            deadlock_free: true,
+            terminals: 0,
+        },
+    }
+}
+
+/// Shared coordination state of one parallel exploration.
+struct Crew {
+    /// Work queue; popped FIFO (or LIFO under an adversarial plan).
+    queue: Mutex<VecDeque<State>>,
+    /// States handed out but not yet fully expanded.
+    pending: AtomicUsize,
+    /// Distinct states inserted across all shards.
+    visited_count: AtomicUsize,
+    /// Approximate bytes held by the visited shards.
+    approx_bytes: AtomicUsize,
+    /// First budget wall hit, encoded (0 = none).
+    exhausted: Mutex<Option<Exhaustion>>,
+    /// Set when any stop condition fires (budget, cancel, panic): workers
+    /// drain out promptly instead of spinning.
+    stop: AtomicBool,
+    /// Theorem-1 verdict.
+    deadlock_free: AtomicBool,
+    /// Terminal states seen.
+    terminals: AtomicUsize,
+    /// First worker panic (index, rendered payload).
+    panic: Mutex<Option<(usize, String)>>,
+    /// Cancellation observed by any worker.
+    cancelled: AtomicBool,
+}
+
+/// Multi-threaded exploration under a [`Budget`], a [`CancelToken`] and a
+/// [`FaultPlan`].
+///
+/// Worker panics — organic or injected by the plan — are caught per
+/// worker; the first one is reported as [`Fx10Error::WorkerPanicked`]
+/// after all workers have drained (the process never aborts, and no
+/// worker is left blocked). Cancellation wins over budget exhaustion;
+/// panics win over both.
+pub fn explore_parallel_budgeted(
+    p: &Program,
+    input: &[i64],
+    config: ExploreConfig,
+    threads: usize,
+    budget: Budget,
+    cancel: &CancelToken,
+    faults: &FaultPlan,
+) -> Result<Exploration, Fx10Error> {
+    cancel.check()?;
     let threads = threads.max(1);
-    let norm = |t: Tree| if config.normalize_admin { t.normalized() } else { t };
+    let max_states = faults
+        .effective_max_states(budget.max_states)
+        .map_or(config.max_states, |b| b.min(config.max_states));
+    let norm = |t: Tree| {
+        if config.normalize_admin {
+            t.normalized()
+        } else {
+            t
+        }
+    };
     let init = State {
         array: ArrayState::with_input(p, input),
         tree: norm(initial_tree(p)),
@@ -167,100 +331,189 @@ pub fn explore_parallel(
 
     let visited: Vec<Mutex<HashSet<State>>> =
         (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
-    let visited_count = AtomicUsize::new(0);
-    let pending = AtomicUsize::new(0);
-    let truncated = AtomicBool::new(false);
-    let deadlock_free = AtomicBool::new(true);
-    let terminals = AtomicUsize::new(0);
-
-    let (tx, rx) = crossbeam::channel::unbounded::<State>();
-    visited[shard_of(&init)].lock().insert(init.clone());
-    visited_count.fetch_add(1, Ordering::Relaxed);
-    pending.fetch_add(1, Ordering::SeqCst);
-    tx.send(init).unwrap();
+    let crew = Crew {
+        queue: Mutex::new(VecDeque::new()),
+        pending: AtomicUsize::new(0),
+        visited_count: AtomicUsize::new(1),
+        approx_bytes: AtomicUsize::new(init.approx_bytes()),
+        exhausted: Mutex::new(None),
+        stop: AtomicBool::new(false),
+        deadlock_free: AtomicBool::new(true),
+        terminals: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        cancelled: AtomicBool::new(false),
+    };
+    lock_shard(&visited[shard_of(&init)]).insert(init.clone());
+    crew.pending.store(1, Ordering::SeqCst);
+    lock_shard(&crew.queue).push_back(init);
 
     let mut partial_mhp: Vec<BTreeSet<LabelPair>> = Vec::new();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for _ in 0..threads {
-            let rx = rx.clone();
-            let tx = tx.clone();
+        for worker_id in 0..threads {
+            let crew = &crew;
             let visited = &visited;
-            let visited_count = &visited_count;
-            let pending = &pending;
-            let truncated = &truncated;
-            let deadlock_free = &deadlock_free;
-            let terminals = &terminals;
-            handles.push(scope.spawn(move |_| {
+            let norm = &norm;
+            handles.push(scope.spawn(move || {
                 let mut local_mhp: BTreeSet<LabelPair> = BTreeSet::new();
-                loop {
-                    match rx.try_recv() {
-                        Ok(st) => {
-                            local_mhp.extend(parallel(&st.tree));
-                            if st.tree.is_done() {
-                                terminals.fetch_add(1, Ordering::Relaxed);
-                            } else {
-                                let succ = successors(p, &st.array, &st.tree);
-                                if succ.is_empty() {
-                                    deadlock_free.store(false, Ordering::Relaxed);
-                                }
-                                for s in succ {
-                                    if visited_count.load(Ordering::Relaxed) >= config.max_states {
-                                        truncated.store(true, Ordering::Relaxed);
-                                        break;
-                                    }
-                                    let next = State {
-                                        array: s.array,
-                                        tree: norm(s.tree),
-                                    };
-                                    let is_new =
-                                        visited[shard_of(&next)].lock().insert(next.clone());
-                                    if is_new {
-                                        visited_count.fetch_add(1, Ordering::Relaxed);
-                                        pending.fetch_add(1, Ordering::SeqCst);
-                                        tx.send(next).unwrap();
-                                    }
-                                }
-                            }
-                            pending.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        Err(crossbeam::channel::TryRecvError::Empty) => {
-                            if pending.load(Ordering::SeqCst) == 0 {
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
-                        Err(crossbeam::channel::TryRecvError::Disconnected) => break,
-                    }
+                let mut processed = 0u64;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    worker_loop(
+                        p,
+                        budget,
+                        cancel,
+                        faults,
+                        crew,
+                        visited,
+                        norm,
+                        worker_id,
+                        max_states,
+                        &mut local_mhp,
+                        &mut processed,
+                    )
+                }));
+                if let Err(payload) = result {
+                    // Contain the panic: record it, release the state we
+                    // were holding, and tell everyone to drain out.
+                    let mut first = lock_shard(&crew.panic);
+                    first.get_or_insert_with(|| {
+                        (worker_id, fx10_robust::panic_message(payload.as_ref()))
+                    });
+                    drop(first);
+                    crew.stop.store(true, Ordering::SeqCst);
+                    // The popped state was never re-queued; make the
+                    // pending count consistent so nobody waits on it.
+                    crew.pending.fetch_sub(1, Ordering::SeqCst);
                 }
                 local_mhp
             }));
         }
-        drop(tx);
         for h in handles {
-            partial_mhp.push(h.join().unwrap());
+            // Worker closures never unwind (the catch is inside), so the
+            // join itself cannot fail; fall back to an empty set rather
+            // than propagating a panic out of the library.
+            partial_mhp.push(h.join().unwrap_or_default());
         }
-    })
-    .expect("explorer threads must not panic");
+    });
+
+    if let Some((worker, message)) = lock_shard(&crew.panic).take() {
+        return Err(Fx10Error::WorkerPanicked { worker, message });
+    }
+    if crew.cancelled.load(Ordering::SeqCst) || cancel.is_cancelled() {
+        return Err(Fx10Error::Cancelled);
+    }
 
     let mut mhp = BTreeSet::new();
     for part in partial_mhp {
         mhp.extend(part);
     }
 
-    Exploration {
-        visited: visited_count.load(Ordering::Relaxed),
-        truncated: truncated.load(Ordering::Relaxed),
+    let exhausted = *lock_shard(&crew.exhausted);
+    Ok(Exploration {
+        visited: crew.visited_count.load(Ordering::Relaxed),
+        truncated: exhausted.is_some(),
+        exhausted,
         mhp,
-        deadlock_free: deadlock_free.load(Ordering::Relaxed),
-        terminals: terminals.load(Ordering::Relaxed),
+        deadlock_free: crew.deadlock_free.load(Ordering::Relaxed),
+        terminals: crew.terminals.load(Ordering::Relaxed),
+    })
+}
+
+/// One worker's drain loop. Panics escape to the `catch_unwind` in the
+/// spawner; every other exit path is a clean drain.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    p: &Program,
+    budget: Budget,
+    cancel: &CancelToken,
+    faults: &FaultPlan,
+    crew: &Crew,
+    visited: &[Mutex<HashSet<State>>],
+    norm: &impl Fn(Tree) -> Tree,
+    worker_id: usize,
+    max_states: usize,
+    local_mhp: &mut BTreeSet<LabelPair>,
+    processed: &mut u64,
+) {
+    loop {
+        if crew.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let next = {
+            let mut q = lock_shard(&crew.queue);
+            if faults.adversarial_schedule {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        };
+        let Some(st) = next else {
+            if crew.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+
+        *processed += 1;
+        if faults.should_panic(worker_id, *processed) {
+            panic!("injected fault: worker {worker_id} after {processed} state(s)");
+        }
+        if cancel.is_cancelled() {
+            crew.cancelled.store(true, Ordering::SeqCst);
+            crew.stop.store(true, Ordering::SeqCst);
+            crew.pending.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
+        if budget.deadline_exceeded() {
+            lock_shard(&crew.exhausted).get_or_insert(Exhaustion::Deadline);
+            crew.stop.store(true, Ordering::SeqCst);
+            crew.pending.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
+
+        local_mhp.extend(parallel(&st.tree));
+        if st.tree.is_done() {
+            crew.terminals.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let succ = successors(p, &st.array, &st.tree);
+            if succ.is_empty() {
+                crew.deadlock_free.store(false, Ordering::Relaxed);
+            }
+            for s in succ {
+                if crew.visited_count.load(Ordering::Relaxed) >= max_states {
+                    lock_shard(&crew.exhausted).get_or_insert(Exhaustion::States);
+                    crew.stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+                if budget.memory_exhausted(crew.approx_bytes.load(Ordering::Relaxed)) {
+                    lock_shard(&crew.exhausted).get_or_insert(Exhaustion::Memory);
+                    crew.stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+                let next = State {
+                    array: s.array,
+                    tree: norm(s.tree),
+                };
+                let is_new = lock_shard(&visited[shard_of(&next)]).insert(next.clone());
+                if is_new {
+                    crew.visited_count.fetch_add(1, Ordering::Relaxed);
+                    crew.approx_bytes
+                        .fetch_add(next.approx_bytes(), Ordering::Relaxed);
+                    crew.pending.fetch_add(1, Ordering::SeqCst);
+                    lock_shard(&crew.queue).push_back(next);
+                }
+            }
+        }
+        crew.pending.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fx10_robust::PanicFault;
     use fx10_syntax::examples;
     use fx10_syntax::Label;
 
@@ -380,12 +633,18 @@ mod tests {
     #[test]
     fn truncation_reports_lower_bound() {
         // Infinite loop spawning asyncs: state space unbounded.
-        let p = Program::parse(
-            "def main() { a[0] = 1; while (a[0] != 0) { async { B; } } }",
-        )
-        .unwrap();
-        let e = explore(&p, &[], ExploreConfig { max_states: 500, ..ExploreConfig::default() });
+        let p =
+            Program::parse("def main() { a[0] = 1; while (a[0] != 0) { async { B; } } }").unwrap();
+        let e = explore(
+            &p,
+            &[],
+            ExploreConfig {
+                max_states: 500,
+                ..ExploreConfig::default()
+            },
+        );
         assert!(e.truncated);
+        assert_eq!(e.exhausted, Some(Exhaustion::States));
         assert!(e.deadlock_free);
         let b = p.labels().lookup("B").unwrap();
         assert!(e.mhp.contains(&(b, b)), "self pair must be observed");
@@ -472,6 +731,108 @@ mod tests {
         let par = explore_parallel(&p, &[], ExploreConfig::default(), 8);
         assert_eq!(seq.mhp, par.mhp);
         assert_eq!(seq.visited, par.visited);
+    }
+
+    #[test]
+    fn adversarial_schedule_computes_the_same_sets() {
+        let p = examples::example_2_1();
+        let seq = explore(&p, &[], ExploreConfig::default());
+        let adv = explore_parallel_budgeted(
+            &p,
+            &[],
+            ExploreConfig::default(),
+            4,
+            Budget::unlimited(),
+            &CancelToken::new(),
+            &FaultPlan {
+                adversarial_schedule: true,
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.mhp, adv.mhp);
+        assert_eq!(seq.visited, adv.visited);
+        assert_eq!(seq.deadlock_free, adv.deadlock_free);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained() {
+        let p = examples::example_2_1();
+        let err = explore_parallel_budgeted(
+            &p,
+            &[],
+            ExploreConfig::default(),
+            4,
+            Budget::unlimited(),
+            &CancelToken::new(),
+            &FaultPlan {
+                panic_worker: Some(PanicFault {
+                    worker: 0,
+                    after_states: 1,
+                }),
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap_err();
+        match err {
+            Fx10Error::WorkerPanicked { worker: 0, message } => {
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_immediately() {
+        let p = examples::example_2_1();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = explore_parallel_budgeted(
+            &p,
+            &[],
+            ExploreConfig::default(),
+            2,
+            Budget::unlimited(),
+            &cancel,
+            &FaultPlan::none(),
+        )
+        .unwrap_err();
+        assert_eq!(err, Fx10Error::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_tagged_result() {
+        let p =
+            Program::parse("def main() { a[0] = 1; while (a[0] != 0) { async { B; } } }").unwrap();
+        let budget = Budget::unlimited()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let e = explore_budgeted(
+            &p,
+            &[],
+            ExploreConfig::default(),
+            budget,
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert!(e.truncated);
+        assert_eq!(e.exhausted, Some(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn memory_budget_truncates() {
+        let p =
+            Program::parse("def main() { a[0] = 1; while (a[0] != 0) { async { B; } } }").unwrap();
+        let budget = Budget::unlimited().with_max_set_bytes(4_000);
+        let e = explore_budgeted(
+            &p,
+            &[],
+            ExploreConfig::default(),
+            budget,
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert!(e.truncated);
+        assert_eq!(e.exhausted, Some(Exhaustion::Memory));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::state::ArrayState;
 use crate::step::{initial_tree, successors};
 
+use fx10_robust::{Budget, CancelToken, Exhaustion, Fx10Error};
 use fx10_syntax::Program;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,8 +33,12 @@ pub struct RunOutcome {
     pub array: ArrayState,
     /// Steps taken.
     pub steps: u64,
-    /// True when the tree reached `√`; false when the step budget ran out.
+    /// True when the tree reached `√`; false when a budget ran out (or,
+    /// for [`replay`], the trace ended early).
     pub completed: bool,
+    /// Which budget ended an incomplete run (`None` for completed runs
+    /// and for trace-exhausted replays).
+    pub exhausted: Option<Exhaustion>,
 }
 
 /// Runs `p` from `(A₀, ⟨s₀⟩)` with the given scheduler and step budget.
@@ -42,6 +47,41 @@ pub struct RunOutcome {
 /// state; `completed` distinguishes termination from budget exhaustion
 /// (FX10 is Turing-complete, so nontermination is possible).
 pub fn run(p: &Program, input: &[i64], scheduler: Scheduler, max_steps: u64) -> RunOutcome {
+    match run_budgeted(
+        p,
+        input,
+        scheduler,
+        max_steps,
+        Budget::unlimited(),
+        &CancelToken::new(),
+    ) {
+        Ok(out) => out,
+        // Unreachable (nobody holds the token, no deadline) — degrade
+        // rather than panic on a library path.
+        Err(_) => RunOutcome {
+            array: ArrayState::with_input(p, input),
+            steps: 0,
+            completed: false,
+            exhausted: Some(Exhaustion::Steps),
+        },
+    }
+}
+
+/// How often the interpreter polls the wall clock and cancel token.
+const POLL_STRIDE: u64 = 256;
+
+/// As [`run`], but additionally honoring a [`Budget`]'s wall-clock
+/// deadline and a [`CancelToken`]. Deadline expiry returns the partial
+/// outcome tagged [`Exhaustion::Deadline`]; cancellation returns
+/// [`Fx10Error::Cancelled`].
+pub fn run_budgeted(
+    p: &Program,
+    input: &[i64],
+    scheduler: Scheduler,
+    max_steps: u64,
+    budget: Budget,
+    cancel: &CancelToken,
+) -> Result<RunOutcome, Fx10Error> {
     let mut array = ArrayState::with_input(p, input);
     let mut tree = initial_tree(p);
     let mut rng = match &scheduler {
@@ -51,11 +91,23 @@ pub fn run(p: &Program, input: &[i64], scheduler: Scheduler, max_steps: u64) -> 
     let mut steps = 0u64;
     while !tree.is_done() {
         if steps >= max_steps {
-            return RunOutcome {
+            return Ok(RunOutcome {
                 array,
                 steps,
                 completed: false,
-            };
+                exhausted: Some(Exhaustion::Steps),
+            });
+        }
+        if steps.is_multiple_of(POLL_STRIDE) {
+            cancel.check()?;
+            if budget.deadline_exceeded() {
+                return Ok(RunOutcome {
+                    array,
+                    steps,
+                    completed: false,
+                    exhausted: Some(Exhaustion::Deadline),
+                });
+            }
         }
         let succ = successors(p, &array, &tree);
         debug_assert!(!succ.is_empty(), "deadlock-freedom violated");
@@ -69,11 +121,12 @@ pub fn run(p: &Program, input: &[i64], scheduler: Scheduler, max_steps: u64) -> 
         tree = chosen.tree;
         steps += 1;
     }
-    RunOutcome {
+    Ok(RunOutcome {
         array,
         steps,
         completed: true,
-    }
+        exhausted: None,
+    })
 }
 
 /// Convenience: run to completion with a large budget and return `a[0]`,
@@ -114,9 +167,11 @@ pub fn run_traced(
         tree = chosen.tree;
         steps += 1;
     }
+    let completed = tree.is_done();
     (
         RunOutcome {
-            completed: tree.is_done(),
+            completed,
+            exhausted: (!completed).then_some(Exhaustion::Steps),
             array,
             steps,
         },
@@ -172,6 +227,7 @@ pub fn replay(p: &Program, input: &[i64], trace: &[u32]) -> Result<RunOutcome, R
     }
     Ok(RunOutcome {
         completed: tree.is_done(),
+        exhausted: None,
         array,
         steps,
     })
@@ -304,7 +360,11 @@ mod tests {
     fn finish_orders_writes() {
         // Same race wrapped in finish: the async body must complete first.
         let p = Program::parse("def main() { finish { async { a[0] = 1; } } a[0] = 2; }").unwrap();
-        for s in [Scheduler::Leftmost, Scheduler::Rightmost, Scheduler::Random(7)] {
+        for s in [
+            Scheduler::Leftmost,
+            Scheduler::Rightmost,
+            Scheduler::Random(7),
+        ] {
             assert_eq!(run_result(&p, &[], s), Some(2));
         }
     }

@@ -24,7 +24,6 @@
 //!   `MHP(p) = ∪ { parallel(T) | (p,A₀,⟨s₀⟩) →* (p,A,T) }` and checking
 //!   the deadlock-freedom theorem (Theorem 1) on every visited state.
 
-
 #![warn(missing_docs)]
 pub mod explore;
 pub mod interp;
@@ -33,7 +32,10 @@ pub mod state;
 pub mod step;
 pub mod tree;
 
-pub use explore::{explore, explore_parallel, ExploreConfig, Exploration};
-pub use interp::{run, run_result, RunOutcome, Scheduler};
+pub use explore::{
+    explore, explore_budgeted, explore_parallel, explore_parallel_budgeted, Exploration,
+    ExploreConfig,
+};
+pub use interp::{run, run_budgeted, run_result, RunOutcome, Scheduler};
 pub use state::ArrayState;
 pub use tree::Tree;

@@ -103,8 +103,8 @@ mod tests {
         let p = Program::parse("def main() { S1; S2; }").unwrap();
         let s = p.body(p.main());
         let t = Tree::par(
-            Tree::stm(s.clone()),                  // front label = S1 (label 0)
-            Tree::stm(s.tail().unwrap()),          // front label = S2 (label 1)
+            Tree::stm(s.clone()),         // front label = S1 (label 0)
+            Tree::stm(s.tail().unwrap()), // front label = S2 (label 1)
         );
         let pairs = parallel(&t);
         assert_eq!(pairs.len(), 1);

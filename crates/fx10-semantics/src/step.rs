@@ -221,8 +221,8 @@ mod tests {
 
     #[test]
     fn while_true_unrolls_body_then_whole_while() {
-        let p = Program::parse("def main() { a[0] = 1; while (a[0] != 0) { a[0] = 0; } S2; }")
-            .unwrap();
+        let p =
+            Program::parse("def main() { a[0] = 1; while (a[0] != 0) { a[0] = 0; } S2; }").unwrap();
         let t0 = initial_tree(&p);
         let s = successors(&p, &zeros(&p), &t0); // a[0] = 1
         let s = successors(&p, &s[0].array, &s[0].tree); // guard true

@@ -292,7 +292,6 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         .collect()
 }
 
-
 /// One group of asyncs for the Flat pair-targeting plan.
 #[derive(Debug, Clone)]
 struct FlatGroup {
@@ -358,8 +357,7 @@ impl FlatPlan {
     /// Decomposes the Figure 8 pair targets for a Flat benchmark.
     fn plan(spec: &BenchmarkSpec) -> FlatPlan {
         let [_, target_self, target_same, target_diff] = spec.fig8.pairs;
-        let (mut loops, mut places) =
-            (spec.asyncs.loop_asyncs, spec.asyncs.place_switch);
+        let (mut loops, mut places) = (spec.asyncs.loop_asyncs, spec.asyncs.place_switch);
 
         // 1. Same pairs: greedy C(k,2) clusters, loop units first.
         let mut groups: Vec<FlatGroup> = Vec::new();
@@ -479,7 +477,9 @@ impl FlatPlan {
     fn finishes_needed(&self) -> usize {
         let in_region: std::collections::HashSet<usize> =
             self.regions.iter().flatten().copied().collect();
-        self.regions.len() + (self.groups.len() - in_region.len()) + self.isolated_loops
+        self.regions.len()
+            + (self.groups.len() - in_region.len())
+            + self.isolated_loops
             + self.isolated_places
     }
 }
@@ -538,14 +538,18 @@ pub fn build(spec: &BenchmarkSpec) -> CProgram {
     let u = spec.nodes.method;
     assert!(u >= 2, "{}: need at least main + one worker", spec.name);
     let mut b = Budget::of(spec);
-    let mut rng = Xorshift::new(
-        spec.name
-            .bytes()
-            .fold(0xfeed_f00d_u64, |h, c| h.wrapping_mul(131).wrapping_add(c as u64)),
-    );
+    let mut rng = Xorshift::new(spec.name.bytes().fold(0xfeed_f00d_u64, |h, c| {
+        h.wrapping_mul(131).wrapping_add(c as u64)
+    }));
     let mut bodies: Vec<Vec<CAst>> = vec![Vec::new(); u];
     let names: Vec<String> = (0..u)
-        .map(|i| if i == 0 { "main".into() } else { format!("f{i}") })
+        .map(|i| {
+            if i == 0 {
+                "main".into()
+            } else {
+                format!("f{i}")
+            }
+        })
         .collect();
 
     // ---- 1. Call graph: every method reachable from main. -----------
@@ -714,11 +718,13 @@ pub fn build(spec: &BenchmarkSpec) -> CProgram {
             // Diff regions, then solo regions for the remaining hosts.
             let mut in_region = vec![false; plan.groups.len()];
             for region in &plan.regions {
-                let entries: Vec<CAst> =
-                    region.iter().map(|&gi| {
+                let entries: Vec<CAst> = region
+                    .iter()
+                    .map(|&gi| {
                         in_region[gi] = true;
                         entry(gi, &mut b)
-                    }).collect();
+                    })
+                    .collect();
                 assert!(Budget::take(&mut b.finish), "region finish budget");
                 bodies[0].push(CAst::Finish(entries));
             }

@@ -9,7 +9,6 @@
 //! (Figure 6) and node-kind counts (Figure 7) — which are the only inputs
 //! the analysis consumes.
 
-
 #![warn(missing_docs)]
 pub mod benchmarks;
 pub mod random;

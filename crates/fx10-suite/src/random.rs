@@ -20,7 +20,11 @@ pub struct Xorshift(u64);
 impl Xorshift {
     /// Seeds the generator (zero is remapped to a fixed constant).
     pub fn new(seed: u64) -> Xorshift {
-        Xorshift(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+        Xorshift(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
     }
 
     /// Next raw value.
@@ -119,17 +123,26 @@ fn random_fx10_shaped(cfg: RandomConfig, loops: bool) -> Program {
                         assign(rng.below(3) as usize, Expr::Plus1(rng.below(3) as usize))
                     }
                 }
-                3 => async_({ let n = sub(rng); gen_body(rng, depth - 1, n, me, methods, loops) }),
-                4 => finish({ let n = sub(rng); gen_body(rng, depth - 1, n, me, methods, loops) }),
+                3 => async_({
+                    let n = sub(rng);
+                    gen_body(rng, depth - 1, n, me, methods, loops)
+                }),
+                4 => finish({
+                    let n = sub(rng);
+                    gen_body(rng, depth - 1, n, me, methods, loops)
+                }),
                 5 if loops => {
                     // Guard on cell 4+, which no assignment ever targets,
                     // so it stays 0 under the default input.
-                    while_(
-                        4 + rng.below(2) as usize,
-                        { let n = sub(rng); gen_body(rng, depth - 1, n, me, methods, loops) },
-                    )
+                    while_(4 + rng.below(2) as usize, {
+                        let n = sub(rng);
+                        gen_body(rng, depth - 1, n, me, methods, loops)
+                    })
                 }
-                _ => async_({ let n = sub(rng); gen_body(rng, depth - 1, n, me, methods, loops) }),
+                _ => async_({
+                    let n = sub(rng);
+                    gen_body(rng, depth - 1, n, me, methods, loops)
+                }),
             });
         }
         out
@@ -187,21 +200,45 @@ pub fn random_condensed(cfg: RandomConfig) -> CProgram {
                     }
                 }
                 4 => CAst::Async(
-                    { let n = sub(rng); gen_block(rng, depth - 1, n, me, methods) },
+                    {
+                        let n = sub(rng);
+                        gen_block(rng, depth - 1, n, me, methods)
+                    },
                     rng.chance(1, 3),
                 ),
-                5 => CAst::Finish({ let n = sub(rng); gen_block(rng, depth - 1, n, me, methods) }),
-                6 => CAst::Loop({ let n = sub(rng); gen_block(rng, depth - 1, n, me, methods) }),
+                5 => CAst::Finish({
+                    let n = sub(rng);
+                    gen_block(rng, depth - 1, n, me, methods)
+                }),
+                6 => CAst::Loop({
+                    let n = sub(rng);
+                    gen_block(rng, depth - 1, n, me, methods)
+                }),
                 7 => CAst::If(
-                    { let n = sub(rng); gen_block(rng, depth - 1, n, me, methods) },
-                    { let n = sub(rng); gen_block(rng, depth - 1, n, me, methods) },
+                    {
+                        let n = sub(rng);
+                        gen_block(rng, depth - 1, n, me, methods)
+                    },
+                    {
+                        let n = sub(rng);
+                        gen_block(rng, depth - 1, n, me, methods)
+                    },
                 ),
                 8 => CAst::Switch(
                     (0..1 + rng.below(3))
-                        .map(|_| { let n = sub(rng); gen_block(rng, depth - 1, n, me, methods) })
+                        .map(|_| {
+                            let n = sub(rng);
+                            gen_block(rng, depth - 1, n, me, methods)
+                        })
                         .collect(),
                 ),
-                _ => CAst::Async({ let n = sub(rng); gen_block(rng, depth - 1, n, me, methods) }, false),
+                _ => CAst::Async(
+                    {
+                        let n = sub(rng);
+                        gen_block(rng, depth - 1, n, me, methods)
+                    },
+                    false,
+                ),
             });
         }
         out

@@ -430,7 +430,10 @@ mod tests {
 
     #[test]
     fn empty_program_is_rejected() {
-        assert_eq!(Program::from_ast(vec![]).unwrap_err(), ValidateError::NoMethods);
+        assert_eq!(
+            Program::from_ast(vec![]).unwrap_err(),
+            ValidateError::NoMethods
+        );
     }
 
     #[test]

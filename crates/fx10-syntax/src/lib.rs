@@ -30,7 +30,6 @@
 //! - [validation](ValidateError) (dense labels, resolvable calls),
 //! - the paper's §2.1 and §2.2 [example programs](examples).
 
-
 #![warn(missing_docs)]
 pub mod ast;
 pub mod build;

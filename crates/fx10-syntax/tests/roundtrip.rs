@@ -10,10 +10,13 @@ use proptest::prelude::*;
 fn ast_strategy(depth: u32) -> impl Strategy<Value = Ast> {
     let leaf = prop_oneof![
         Just(skip()),
-        (0usize..4, prop_oneof![
-            (0i64..10).prop_map(Expr::Const),
-            (0usize..4).prop_map(Expr::Plus1),
-        ])
+        (
+            0usize..4,
+            prop_oneof![
+                (0i64..10).prop_map(Expr::Const),
+                (0usize..4).prop_map(Expr::Plus1),
+            ]
+        )
             .prop_map(|(d, e)| assign(d, e)),
         Just(call("aux")),
     ];

@@ -70,7 +70,10 @@ fn main() {
     for &(x, y) in &e.mhp {
         assert!(a.refined.contains(x, y), "soundness");
     }
-    assert!(!a.refined.contains(Label(1), Label(8)), "A ∦ Y: barrier-ordered");
+    assert!(
+        !a.refined.contains(Label(1), Label(8)),
+        "A ∦ Y: barrier-ordered"
+    );
     assert!(a.refined.contains(Label(6), Label(8)), "F floats: F ∥ Y");
     println!("refined analysis is sound, and strictly sharper than the barrier-blind one");
 }

@@ -9,8 +9,8 @@
 //! cargo run --example race_detection
 //! ```
 
-use fx10::analysis::race::{detect_races, render_races};
 use fx10::analysis::analyze;
+use fx10::analysis::race::{detect_races, render_races};
 use fx10::semantics::{run_result, Scheduler};
 use fx10::syntax::Program;
 

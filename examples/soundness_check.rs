@@ -9,8 +9,8 @@
 //! cargo run --release --example soundness_check
 //! ```
 
-use fx10::analysis::typesystem::{infer_types, typecheck};
 use fx10::analysis::analyze;
+use fx10::analysis::typesystem::{infer_types, typecheck};
 use fx10::semantics::{explore, ExploreConfig};
 use fx10::suite::{random_fx10, RandomConfig};
 
@@ -30,7 +30,14 @@ fn main() {
         });
 
         // Theorems 1–3.
-        let e = explore(&p, &[], ExploreConfig { max_states: 30_000, ..ExploreConfig::default() });
+        let e = explore(
+            &p,
+            &[],
+            ExploreConfig {
+                max_states: 30_000,
+                ..ExploreConfig::default()
+            },
+        );
         assert!(e.deadlock_free, "Theorem 1 violated at seed {seed}");
         let a = analyze(&p);
         for &(x, y) in &e.mhp {

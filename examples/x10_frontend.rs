@@ -45,7 +45,11 @@ fn main() {
     let counts = p.node_counts();
     let asyncs = p.async_stats();
 
-    println!("condensed form: {} nodes over {} methods", counts.total(), counts.method);
+    println!(
+        "condensed form: {} nodes over {} methods",
+        counts.total(),
+        counts.method
+    );
     println!(
         "  end={} async={} call={} finish={} if={} loop={} return={} skip={} switch={}",
         counts.end,
@@ -86,5 +90,8 @@ fn main() {
     // relax()'s foreach async is called inside `step` from a loop in main
     // — it overlaps itself across outer iterations? No: the finish inside
     // step joins it each call. The halo ateach, however, is unfinished.
-    assert!(rep.self_pairs >= 2, "foreach + ateach self-overlaps: {rep:?}");
+    assert!(
+        rep.self_pairs >= 2,
+        "foreach + ateach self-overlaps: {rep:?}"
+    );
 }

@@ -16,12 +16,14 @@
 //!   generators.
 //! - [`clocked`] — the §8 clocks extension: CFX10 with a barrier,
 //!   exhaustive exploration, and a phase-refined MHP analysis.
-
+//! - [`robust`] — the shared robustness layer: typed errors, resource
+//!   budgets, cooperative cancellation and the fault-injection plan.
 
 #![warn(missing_docs)]
 pub use fx10_clocked as clocked;
 pub use fx10_core as analysis;
 pub use fx10_frontend as frontend;
+pub use fx10_robust as robust;
 pub use fx10_semantics as semantics;
 pub use fx10_suite as suite;
 pub use fx10_syntax as syntax;

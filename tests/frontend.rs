@@ -34,7 +34,10 @@ fn condensed_and_fx10_agree_on_shared_fragment() {
     assert_eq!(rep1.self_pairs, rep2.self_pairs);
     assert_eq!(rep1.same_method, rep2.same_method);
     assert_eq!(rep1.diff_method, rep2.diff_method);
-    assert_eq!((rep2.self_pairs, rep2.same_method, rep2.diff_method), (0, 0, 2));
+    assert_eq!(
+        (rep2.self_pairs, rep2.same_method, rep2.diff_method),
+        (0, 0, 2)
+    );
 }
 
 #[test]
@@ -179,9 +182,8 @@ mod condensed_soundness {
 fn pretty_printed_benchmarks_reparse_with_identical_statistics() {
     for bm in fx10::suite::all_benchmarks() {
         let printed = fx10::frontend::pretty(&bm.program);
-        let reparsed = parse(&printed).unwrap_or_else(|e| {
-            panic!("{}: pretty output must reparse: {e}", bm.spec.name)
-        });
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: pretty output must reparse: {e}", bm.spec.name));
         assert_eq!(
             reparsed.node_counts(),
             bm.spec.nodes,

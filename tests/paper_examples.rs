@@ -29,7 +29,10 @@ fn norm(v: Vec<(&str, &str)>) -> Vec<(String, String)> {
 fn example_2_1_produces_exactly_the_papers_pairs() {
     let p = examples::example_2_1();
     let a = analyze(&p);
-    assert_eq!(a.pairs_named(&p), norm(examples::example_2_1_expected_pairs()));
+    assert_eq!(
+        a.pairs_named(&p),
+        norm(examples::example_2_1_expected_pairs())
+    );
 }
 
 #[test]
@@ -55,7 +58,10 @@ fn example_2_1_analysis_is_best_possible() {
 fn example_2_2_context_sensitive_is_exact() {
     let p = examples::example_2_2();
     let a = analyze(&p);
-    assert_eq!(a.pairs_named(&p), norm(examples::example_2_2_expected_pairs()));
+    assert_eq!(
+        a.pairs_named(&p),
+        norm(examples::example_2_2_expected_pairs())
+    );
 
     // And best possible: every static pair occurs dynamically.
     let e = explore(&p, &[], ExploreConfig::default());

@@ -77,13 +77,7 @@ fn migratory_methods_stay_sound() {
     // f's async body (label 1) may happen in parallel with main's tail
     // compute; since f is migratory the pair must survive refinement.
     let f_body = Label(1);
-    let main_tail = p
-        .method(p.main())
-        .body
-        .nodes
-        .last()
-        .unwrap()
-        .label;
+    let main_tail = p.method(p.main()).body.nodes.last().unwrap().label;
     if a.may_happen_in_parallel(f_body, main_tail) {
         assert!(refined.contains(f_body, main_tail));
     }

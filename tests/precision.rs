@@ -93,7 +93,8 @@ fn the_only_false_positive_source_is_the_loop_pattern() {
         let dynamic = e.mhp.contains(&(x.min(y), x.max(y)));
         let involves_dead_loop_body = [x, y].contains(&s1) || [x, y].contains(&a1);
         assert_eq!(
-            !dynamic, involves_dead_loop_body,
+            !dynamic,
+            involves_dead_loop_body,
             "pair ({}, {})",
             p.labels().display(x),
             p.labels().display(y)

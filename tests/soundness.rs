@@ -103,7 +103,10 @@ proptest! {
 fn parallel_explorer_agrees_with_sequential_on_random_programs() {
     for seed in 0..12u64 {
         let p = random_fx10(cfg(seed, 3, 4, 2));
-        let cap = ExploreConfig { max_states: 20_000, ..ExploreConfig::default() };
+        let cap = ExploreConfig {
+            max_states: 20_000,
+            ..ExploreConfig::default()
+        };
         let a = explore(&p, &[], cap);
         if a.truncated {
             continue; // the two explorers may truncate differently

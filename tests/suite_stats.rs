@@ -111,8 +111,7 @@ fn figure_9_mg_plasma_blowup_shape() {
         let (rc, ri) = (async_pairs_condensed(&cs), async_pairs_condensed(&ci));
         assert!(ri.total() > rc.total(), "{name}: CI produces more pairs");
         let extra_diff = ri.diff_method.saturating_sub(rc.diff_method);
-        let extra_other =
-            (ri.total() - rc.total()).saturating_sub(extra_diff);
+        let extra_other = (ri.total() - rc.total()).saturating_sub(extra_diff);
         assert!(
             extra_diff >= extra_other,
             "{name}: the blowup is mostly diff pairs ({extra_diff} vs {extra_other})"
@@ -140,7 +139,10 @@ fn plasma_dominates_mg_dominates_the_rest_in_cost() {
     let raytracer = work("raytracer");
     assert!(plasma > mg, "plasma ({plasma}) > mg ({mg})");
     assert!(mg > raytracer, "mg ({mg}) > raytracer ({raytracer})");
-    assert!(raytracer > stream, "raytracer ({raytracer}) > stream ({stream})");
+    assert!(
+        raytracer > stream,
+        "raytracer ({raytracer}) > stream ({stream})"
+    );
 }
 
 #[test]
