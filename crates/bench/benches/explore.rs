@@ -1,19 +1,21 @@
-//! Exhaustive state-space exploration: sequential vs multi-threaded
-//! explorer on the paper's examples and a fan-out stress program. This is
-//! the machinery behind the ground-truth (dynamic) MHP used to validate
-//! Theorem 2/3 empirically.
+//! Exhaustive state-space exploration: the seed-style sequential cloned
+//! explorer vs the hash-consed work-stealing engine, on the paper's
+//! examples and a fan-out stress program. Two axes:
+//!
+//! - **clone vs intern**: cloned `Tree` values with string-digest
+//!   visited sets vs 32-bit interned ids with O(1) equality/hashing,
+//!   both sequential;
+//! - **jobs scaling**: the interned engine at 1, 2 and 4 workers sharing
+//!   one budget meter.
+//!
+//! This is the machinery behind the ground-truth (dynamic) MHP used to
+//! validate Theorem 2/3 empirically; `figures bench-explore` emits the
+//! same comparison as `BENCH_explore.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fx10_bench::fanout;
 use fx10_semantics::{explore, explore_parallel, ExploreConfig};
 use fx10_syntax::{examples, Program};
-
-fn fanout(width: usize) -> Program {
-    let mut body = String::new();
-    for i in 0..width {
-        body.push_str(&format!("async {{ S{i}; T{i}; }}\n"));
-    }
-    Program::parse(&format!("def main() {{ finish {{ {body} }} K; }}")).expect("fanout parses")
-}
 
 fn bench_explore(c: &mut Criterion) {
     let mut group = c.benchmark_group("explore");
@@ -24,13 +26,35 @@ fn bench_explore(c: &mut Criterion) {
         ("same_category", examples::same_category()),
         ("fanout5", fanout(5)),
     ];
+    let seed_config = ExploreConfig {
+        canonical_dedup: false,
+        ..ExploreConfig::default()
+    };
     for (name, p) in &cases {
-        group.bench_with_input(BenchmarkId::new("sequential", name), p, |b, p| {
+        // Clone vs intern, both sequential.
+        group.bench_with_input(BenchmarkId::new("cloned-seq-seed", name), p, |b, p| {
+            b.iter(|| std::hint::black_box(explore(p, &[], seed_config)))
+        });
+        group.bench_with_input(BenchmarkId::new("cloned-seq", name), p, |b, p| {
             b.iter(|| std::hint::black_box(explore(p, &[], ExploreConfig::default())))
         });
-        group.bench_with_input(BenchmarkId::new("parallel4", name), p, |b, p| {
-            b.iter(|| std::hint::black_box(explore_parallel(p, &[], ExploreConfig::default(), 4)))
-        });
+        // Jobs scaling on the interned work-stealing engine.
+        for jobs in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("interned{jobs}"), name),
+                p,
+                |b, p| {
+                    b.iter(|| {
+                        std::hint::black_box(explore_parallel(
+                            p,
+                            &[],
+                            ExploreConfig::default(),
+                            jobs,
+                        ))
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

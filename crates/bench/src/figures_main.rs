@@ -1,8 +1,14 @@
 //! `figures` — prints the paper's evaluation tables.
 //!
 //! ```text
-//! figures [fig5|fig6|fig7|fig8|fig9|example22|all]
+//! figures [fig5|fig6|fig7|fig8|fig9|example22|precision|all]
+//! figures bench-explore [OUT.json]     # explorer benchmark report
 //! ```
+//!
+//! `bench-explore` measures the seed-style sequential cloned explorer
+//! against the interned work-stealing engine (jobs 1/2/4) and writes the
+//! report to `OUT.json` (default `BENCH_explore.json`); CI uploads it as
+//! an artifact.
 //!
 //! Run in release mode for meaningful times:
 //! `cargo run --release -p fx10-bench --bin figures -- all`
@@ -24,6 +30,18 @@ fn main() {
         "precision" => {
             println!("{}", fx10_bench::precision(200));
             println!("{}", "=".repeat(72));
+        }
+        "bench-explore" => {
+            let out = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "BENCH_explore.json".to_string());
+            let json = fx10_bench::bench_explore_json();
+            print!("{json}");
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {out}");
         }
         "all" => {
             for f in [

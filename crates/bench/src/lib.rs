@@ -347,6 +347,7 @@ pub fn precision(seeds: u64) -> String {
             ExploreConfig {
                 max_states: 30_000,
                 normalize_admin: true,
+                ..ExploreConfig::default()
             },
         );
         if e.truncated {
@@ -364,6 +365,135 @@ pub fn precision(seeds: u64) -> String {
         out,
         "\nrandom programs: {counted} fully explored; {exact} exactly precise;\n         {total_dynamic} dynamic pairs inside {total_static} static pairs\n         (every false positive stems from the §8 loop-runs-<2 pattern —\n         the paper found none on its benchmarks and identified this as\n         the one source)"
     );
+    out
+}
+
+/// A fan-out stress program: `finish { async {S0;T0;} … async {Sn;Tn;} } K;`.
+/// Each extra activity multiplies the interleaving space by ~3, so this is
+/// the scaling fixture for the explorer benchmarks.
+pub fn fanout(width: usize) -> fx10_syntax::Program {
+    let mut body = String::new();
+    for i in 0..width {
+        body.push_str(&format!("async {{ S{i}; T{i}; }}\n"));
+    }
+    fx10_syntax::Program::parse(&format!("def main() {{ finish {{ {body} }} K; }}"))
+        .expect("fanout parses")
+}
+
+/// One measured explorer configuration in the `BENCH_explore.json` report.
+pub struct ExploreBenchRow {
+    /// Engine label (`cloned-seq-seed`, `cloned-seq`, `interned`).
+    pub engine: &'static str,
+    /// Worker count (1 for the sequential engines).
+    pub jobs: usize,
+    /// States visited (differs between seed-literal and canonical dedup).
+    pub visited: usize,
+    /// Median wall-clock of three timed runs, in milliseconds.
+    pub millis: f64,
+}
+
+fn median_millis(mut run: impl FnMut() -> usize) -> (usize, f64) {
+    let visited = run(); // warm-up, and the row's state count
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(run());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (visited, samples[1])
+}
+
+/// Benchmarks the seed-style sequential cloned explorer against the
+/// interned work-stealing engine at several worker counts, on one
+/// fixture. Row order: seed-literal cloned, canonical cloned, then
+/// interned at each of `jobs`.
+pub fn bench_explore_fixture(p: &fx10_syntax::Program, jobs: &[usize]) -> Vec<ExploreBenchRow> {
+    use fx10_semantics::{explore, explore_parallel, ExploreConfig};
+    let seed_config = ExploreConfig {
+        canonical_dedup: false,
+        ..ExploreConfig::default()
+    };
+    let mut rows = Vec::new();
+    let (visited, millis) = median_millis(|| explore(p, &[], seed_config).visited);
+    rows.push(ExploreBenchRow {
+        engine: "cloned-seq-seed",
+        jobs: 1,
+        visited,
+        millis,
+    });
+    let (visited, millis) = median_millis(|| explore(p, &[], ExploreConfig::default()).visited);
+    rows.push(ExploreBenchRow {
+        engine: "cloned-seq",
+        jobs: 1,
+        visited,
+        millis,
+    });
+    for &j in jobs {
+        let (visited, millis) =
+            median_millis(|| explore_parallel(p, &[], ExploreConfig::default(), j).visited);
+        rows.push(ExploreBenchRow {
+            engine: "interned",
+            jobs: j,
+            visited,
+            millis,
+        });
+    }
+    rows
+}
+
+/// The `BENCH_explore.json` report: sequential-vs-parallel and
+/// clone-vs-intern on the paper examples plus fan-out stress fixtures.
+/// The headline `speedup_interned_jobs4_vs_seed` field is measured on the
+/// largest fixture (the PR's acceptance bar is ≥ 2x).
+pub fn bench_explore_json() -> String {
+    let fixtures: Vec<(&str, fx10_syntax::Program)> = vec![
+        ("example_2_1", fx10_syntax::examples::example_2_1()),
+        ("same_category", fx10_syntax::examples::same_category()),
+        ("fanout5", fanout(5)),
+        ("fanout6", fanout(6)),
+    ];
+    let jobs = [1usize, 2, 4];
+    let mut out = String::new();
+    out.push_str("{\n  \"fixtures\": [\n");
+    let mut headline = 0.0f64;
+    for (i, (name, p)) in fixtures.iter().enumerate() {
+        let rows = bench_explore_fixture(p, &jobs);
+        let seed_ms = rows[0].millis;
+        let jobs4_ms = rows
+            .iter()
+            .find(|r| r.engine == "interned" && r.jobs == 4)
+            .map(|r| r.millis)
+            .unwrap_or(f64::INFINITY);
+        let speedup = seed_ms / jobs4_ms;
+        if i + 1 == fixtures.len() {
+            headline = speedup;
+        }
+        let _ = writeln!(out, "    {{\n      \"name\": \"{name}\",");
+        let _ = writeln!(out, "      \"rows\": [");
+        for (j, r) in rows.iter().enumerate() {
+            let comma = if j + 1 == rows.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "        {{\"engine\": \"{}\", \"jobs\": {}, \"visited\": {}, \"millis\": {:.3}}}{comma}",
+                r.engine, r.jobs, r.visited, r.millis
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(
+            out,
+            "      \"speedup_interned_jobs4_vs_seed\": {speedup:.2}"
+        );
+        let comma = if i + 1 == fixtures.len() { "" } else { "," };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"largest_fixture_speedup_interned_jobs4_vs_seed\": {headline:.2}"
+    );
+    out.push_str("}\n");
     out
 }
 
@@ -420,5 +550,20 @@ mod tests {
     fn example_2_2_report_shows_divergence() {
         let t = example_2_2_report();
         assert!(t.contains("CS = false, CI = true"), "{t}");
+    }
+
+    #[test]
+    fn explore_bench_rows_cover_both_engines() {
+        let p = fx10_syntax::examples::example_2_1();
+        let rows = bench_explore_fixture(&p, &[1, 2]);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].engine, "cloned-seq-seed");
+        assert_eq!(rows[1].engine, "cloned-seq");
+        assert!(rows[2..].iter().all(|r| r.engine == "interned"));
+        // The seed-literal space is never smaller than the canonical one,
+        // and the interned engine agrees with the canonical cloned one.
+        assert!(rows[0].visited >= rows[1].visited);
+        assert!(rows[2..].iter().all(|r| r.visited == rows[1].visited));
+        assert!(rows.iter().all(|r| r.millis >= 0.0));
     }
 }

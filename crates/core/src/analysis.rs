@@ -328,6 +328,36 @@ impl Analysis {
         out
     }
 
+    /// Checks **Theorem 2 soundness** (`dynamic ⊆ static`) against a set
+    /// of ground-truth pairs — typically the dynamic MHP union produced
+    /// by the explorer (any engine, any worker count; the explorers'
+    /// results are schedule-independent).
+    ///
+    /// Every dynamic pair absent from the static `M` is a soundness
+    /// violation and is returned in [`SoundnessReport::missing`]. The
+    /// check is order-insensitive: `(a, b)` and `(b, a)` are the same
+    /// pair.
+    pub fn check_soundness<'a, I>(&self, dynamic: I) -> SoundnessReport
+    where
+        I: IntoIterator<Item = &'a (Label, Label)>,
+    {
+        let mut checked = 0usize;
+        let mut missing = Vec::new();
+        for &(a, b) in dynamic {
+            checked += 1;
+            if !self.may_happen_in_parallel(a, b) && !self.may_happen_in_parallel(b, a) {
+                missing.push(if a <= b { (a, b) } else { (b, a) });
+            }
+        }
+        missing.sort();
+        missing.dedup();
+        SoundnessReport {
+            checked,
+            missing,
+            static_pairs: self.mhp().len(),
+        }
+    }
+
     /// Builds the type environment `E = { f_i ↦ (M_i, O_i) }` from the
     /// constraint solution — the `φ extends E` direction of Theorem 4.
     pub fn type_env(&self) -> crate::typesystem::TypeEnv {
@@ -343,6 +373,28 @@ impl Analysis {
                 })
                 .collect(),
         )
+    }
+}
+
+/// The verdict of [`Analysis::check_soundness`]: how a dynamic
+/// (explorer-observed) MHP set relates to the static `M`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoundnessReport {
+    /// Dynamic pairs checked.
+    pub checked: usize,
+    /// Dynamic pairs **not** covered by the static analysis — any entry
+    /// here falsifies Theorem 2 and is a bug.
+    pub missing: Vec<(Label, Label)>,
+    /// Size of the static `M` the pairs were checked against (for
+    /// precision-gap reporting: `static_pairs - checked` over-approximated
+    /// pairs when the dynamic set is exact).
+    pub static_pairs: usize,
+}
+
+impl SoundnessReport {
+    /// Did `dynamic ⊆ static` hold?
+    pub fn is_sound(&self) -> bool {
+        self.missing.is_empty()
     }
 }
 
@@ -369,6 +421,31 @@ mod tests {
         v.sort();
         v.dedup();
         v
+    }
+
+    #[test]
+    fn soundness_report_confirms_theorem_2_on_explored_ground_truth() {
+        use fx10_semantics::{explore, ExploreConfig};
+        for p in [examples::example_2_1(), examples::example_2_2()] {
+            let e = explore(&p, &[], ExploreConfig::default());
+            assert!(!e.truncated);
+            let a = analyze(&p);
+            let report = a.check_soundness(e.mhp.iter());
+            assert!(
+                report.is_sound(),
+                "dynamic pairs missing from static M: {:?}",
+                report.missing
+            );
+            assert_eq!(report.checked, e.mhp.len());
+            assert!(report.static_pairs >= report.checked);
+        }
+        // A fabricated pair the analysis never emits must be flagged.
+        let p = examples::example_2_1();
+        let a = analyze(&p);
+        let bogus = (Label(0), Label(0));
+        let report = a.check_soundness([&bogus]);
+        assert!(!report.is_sound());
+        assert_eq!(report.missing, vec![bogus]);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod typesystem;
 pub use analysis::{
     analyze, analyze_ci, analyze_with, analyze_with_budget, analyze_with_fallback,
     analyze_with_faults, Analysis, AnalysisPath, AnalysisStats, FallbackOutcome, SolverKind,
+    SoundnessReport,
 };
 pub use gen::Mode;
 pub use index::{StmtId, StmtIndex, StmtKind};

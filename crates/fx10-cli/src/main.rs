@@ -4,7 +4,7 @@
 //! ```text
 //! fx10 parse   <file.fx10>                    check & pretty-print
 //! fx10 run     <file.fx10> [--sched S] [--input v,v,...] [--steps N]
-//! fx10 explore <file.fx10> [--max-states N]   exhaustive dynamic MHP
+//! fx10 explore <file.fx10> [--max-states N] [--jobs N]   exhaustive dynamic MHP
 //! fx10 mhp     <file.fx10> [--ci]             static MHP pairs
 //! fx10 race    <file.fx10>                    MHP-based race report
 //! fx10 check   <file.fx10>                    soundness: dynamic ⊆ static
@@ -15,6 +15,11 @@
 //! Every command accepts the resource-budget flags `--budget-states`,
 //! `--budget-iters` and `--timeout-ms`; a budget-cut run reports its
 //! partial result, says which budget tripped, and exits 3.
+//!
+//! `explore` and `check` run the work-stealing interned explorer with
+//! `--jobs N` worker threads (default: the machine's available
+//! parallelism). Results are schedule-independent: every `--jobs` value
+//! computes the same states, MHP pairs and verdicts.
 //!
 //! Exit codes:
 //!
@@ -27,8 +32,8 @@
 //! | 4    | cancelled, or a worker thread panicked            |
 
 use fx10_core::{analyze_with_budget, analyze_with_fallback, AnalysisPath};
-use fx10_robust::{Budget, CancelToken, Exhaustion, Fx10Error};
-use fx10_semantics::{explore_budgeted, run_budgeted, ExploreConfig, Scheduler};
+use fx10_robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error};
+use fx10_semantics::{explore_parallel_budgeted, run_budgeted, ExploreConfig, Scheduler};
 use fx10_syntax::Program;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -41,6 +46,7 @@ fn usage() -> ExitCode {
            --input v,v,...                              initial array (run/explore)\n\
            --steps N                                    step budget (run)\n\
            --max-states N                               exploration cap\n\
+           --jobs N                                     explorer worker threads (explore/check)\n\
            --ci                                         context-insensitive analysis\n\
            --solver <naive|worklist|scc|scc-par>        fixed-point algorithm\n\
            --places                                     same-place MHP refinement (x10)\n\
@@ -58,6 +64,7 @@ struct Opts {
     input: Vec<i64>,
     steps: u64,
     max_states: usize,
+    jobs: usize,
     ci: bool,
     solver: fx10_core::analysis::SolverKind,
     places: bool,
@@ -98,6 +105,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         input: vec![],
         steps: 1_000_000,
         max_states: 200_000,
+        jobs: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         ci: false,
         solver: fx10_core::analysis::SolverKind::Naive,
         places: false,
@@ -144,6 +154,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .ok_or("--max-states needs a value")?
                     .parse()
                     .map_err(|_| "bad state count")?;
+            }
+            "--jobs" => {
+                i += 1;
+                o.jobs = args
+                    .get(i)
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "bad job count")?;
+                if o.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
             }
             "--budget-states" => {
                 i += 1;
@@ -261,16 +282,19 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
         }
         "explore" => {
             let p = load(target)?;
-            let e = explore_budgeted(
+            let e = explore_parallel_budgeted(
                 &p,
                 &opts.input,
                 ExploreConfig {
                     max_states: opts.max_states,
                     ..ExploreConfig::default()
                 },
+                opts.jobs,
                 budget,
                 &cancel,
+                &FaultPlan::none(),
             )?;
+            println!("jobs: {} (work-stealing interned explorer)", opts.jobs);
             println!(
                 "{} state(s) visited{}, {} terminal(s), deadlock-free: {}",
                 e.visited,
@@ -351,15 +375,17 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
                 budget,
                 &cancel,
             )?;
-            let e = explore_budgeted(
+            let e = explore_parallel_budgeted(
                 &p,
                 &opts.input,
                 ExploreConfig {
                     max_states: opts.max_states,
                     ..ExploreConfig::default()
                 },
+                opts.jobs,
                 budget,
                 &cancel,
+                &FaultPlan::none(),
             )?;
             // A budget-cut *static* analysis is an under-approximation, so
             // "dynamic pair missing statically" would be a false alarm:
@@ -374,18 +400,16 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
                 println!("INCONCLUSIVE ({x} exhausted during static analysis)");
                 return Ok(Verdict::Inconclusive(x));
             }
-            let mut missing = 0usize;
-            for &(x, y) in &e.mhp {
-                if !a.may_happen_in_parallel(x, y) {
-                    missing += 1;
-                    println!(
-                        "UNSOUND: dynamic pair ({}, {}) not in static MHP",
-                        p.labels().display(x),
-                        p.labels().display(y)
-                    );
-                }
+            let soundness = a.check_soundness(e.mhp.iter());
+            for &(x, y) in &soundness.missing {
+                println!(
+                    "UNSOUND: dynamic pair ({}, {}) not in static MHP",
+                    p.labels().display(x),
+                    p.labels().display(y)
+                );
             }
-            let static_n = a.mhp().len();
+            let missing = soundness.missing.len();
+            let static_n = soundness.static_pairs;
             println!(
                 "dynamic pairs: {} ({} states{}), static pairs: {}, deadlock-free: {}",
                 e.mhp.len(),

@@ -102,6 +102,63 @@ fn explore_reports_deadlock_freedom() {
 }
 
 #[test]
+fn explore_jobs_values_agree_line_for_line() {
+    // Schedule independence end-to-end: every --jobs value prints the
+    // same states, pairs and verdicts (only the jobs banner differs).
+    let mut reports = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let out = fx10(&["explore", "programs/fork_join.fx10", "--jobs", jobs]);
+        assert!(out.status.success(), "jobs={jobs}: {out:?}");
+        let body: Vec<String> = stdout(&out)
+            .lines()
+            .filter(|l| !l.starts_with("jobs:"))
+            .map(|l| l.to_string())
+            .collect();
+        reports.push(body);
+    }
+    assert!(reports.windows(2).all(|w| w[0] == w[1]), "{reports:?}");
+}
+
+#[test]
+fn explore_jobs_with_small_budget_is_inconclusive_exit_3() {
+    for jobs in ["1", "2", "8"] {
+        let out = fx10(&[
+            "explore",
+            "programs/example22.fx10",
+            "--jobs",
+            jobs,
+            "--budget-states",
+            "2",
+        ]);
+        assert_eq!(code(&out), 3, "jobs={jobs}");
+        let s = stdout(&out);
+        assert!(s.contains("truncated: state budget exhausted"), "{s}");
+    }
+}
+
+#[test]
+fn bad_jobs_values_exit_2() {
+    assert_eq!(
+        code(&fx10(&[
+            "explore",
+            "programs/fork_join.fx10",
+            "--jobs",
+            "0"
+        ])),
+        2
+    );
+    assert_eq!(
+        code(&fx10(&[
+            "explore",
+            "programs/fork_join.fx10",
+            "--jobs",
+            "many"
+        ])),
+        2
+    );
+}
+
+#[test]
 fn x10_frontend_analyzes_stencil() {
     let out = fx10(&["x10", "programs/stencil.x10"]);
     assert!(out.status.success());

@@ -21,8 +21,8 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -362,6 +362,162 @@ impl BudgetMeter {
 }
 
 // ---------------------------------------------------------------------------
+// Shared (atomic) budget accounting
+// ---------------------------------------------------------------------------
+
+/// Lock-free budget accounting shared by the workers of one parallel
+/// engine.
+///
+/// Where [`BudgetMeter`] is the single-threaded meter (one owner, `&mut`
+/// ticks), `SharedMeter` is its crew-wide counterpart: all counters are
+/// atomics, so N workers charge the *same* budget concurrently without a
+/// lock on the hot path. Workers reserve state credits in batches
+/// ([`SharedMeter::try_reserve_states`]) — the total number of states
+/// admitted can therefore overshoot the cap by at most one batch per
+/// worker, which is the documented precision of the parallel explorer's
+/// budget contract.
+#[derive(Debug)]
+pub struct SharedMeter {
+    budget: Budget,
+    cancel: CancelToken,
+    /// States admitted so far (reserved credits).
+    states: AtomicUsize,
+    /// Work units charged so far (explorer: expanded states).
+    ticks: AtomicU64,
+    /// Approximate bytes held by the engine's visited structures.
+    bytes: AtomicUsize,
+    /// First budget wall observed by any worker.
+    exhausted: Mutex<Option<Exhaustion>>,
+    /// Set as soon as any stop condition fires, so workers drain out.
+    stopped: AtomicBool,
+}
+
+impl SharedMeter {
+    /// A shared meter enforcing `budget` and observing `cancel`.
+    pub fn new(budget: Budget, cancel: CancelToken) -> Self {
+        SharedMeter {
+            budget,
+            cancel,
+            states: AtomicUsize::new(0),
+            ticks: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
+            exhausted: Mutex::new(None),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// The budget being enforced.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// The cancel token all workers observe.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Atomically reserves `n` state credits against `cap` (the engine's
+    /// effective state cap, already folded with the budget). Returns
+    /// `true` when the reservation is admitted. On refusal the cap is
+    /// recorded as [`Exhaustion::States`] and the stop flag is raised.
+    ///
+    /// The check is `fetch_add` first, compare after — concurrent
+    /// reservations can overshoot the cap by at most one batch per
+    /// worker, never hang and never under-admit.
+    pub fn try_reserve_states(&self, n: usize, cap: usize) -> bool {
+        let before = self.states.fetch_add(n, Ordering::Relaxed);
+        if before >= cap {
+            // Refund so `states()` stays an admitted-credit count.
+            self.states.fetch_sub(n, Ordering::Relaxed);
+            self.note_exhaustion(Exhaustion::States);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// State credits admitted so far.
+    pub fn states(&self) -> usize {
+        self.states.load(Ordering::Relaxed)
+    }
+
+    /// Charges `n` work units (no cap of its own; feeds [`Self::ticks`]).
+    pub fn charge_ticks(&self, n: u64) {
+        self.ticks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Work units charged so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` approximate bytes; returns `false` (and records
+    /// [`Exhaustion::Memory`]) when the memory budget is exceeded.
+    pub fn try_grow_bytes(&self, n: usize) -> bool {
+        let now = self.bytes.fetch_add(n, Ordering::Relaxed) + n;
+        if self.budget.memory_exhausted(now) {
+            self.note_exhaustion(Exhaustion::Memory);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Approximate bytes accounted so far.
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Polls cancellation and the wall clock. `Err(Stop)` means the
+    /// worker should drain out now; deadline trips are recorded.
+    pub fn checkpoint(&self) -> Result<(), Stop> {
+        if self.cancel.is_cancelled() {
+            self.request_stop();
+            return Err(Stop::Cancelled);
+        }
+        if self.budget.deadline_exceeded() {
+            self.note_exhaustion(Exhaustion::Deadline);
+            return Err(Stop::Exhausted(Exhaustion::Deadline));
+        }
+        Ok(())
+    }
+
+    /// Records a budget wall (first writer wins) and raises the stop
+    /// flag.
+    pub fn note_exhaustion(&self, e: Exhaustion) {
+        self.exhausted
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get_or_insert(e);
+        self.request_stop();
+    }
+
+    /// The first budget wall any worker hit, if any.
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        *self.exhausted.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Asks every worker to drain out (budget, cancellation or panic).
+    pub fn request_stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+    }
+
+    /// Has any stop condition fired?
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Settles this shared meter's tick count into a single-threaded
+    /// [`BudgetMeter`] (after the crew has joined).
+    pub fn settle_into(&self, meter: &mut BudgetMeter) {
+        let _ = meter.charge(self.ticks());
+        if let Some(e) = self.exhaustion() {
+            meter.note_exhaustion(e);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Cancellation
 // ---------------------------------------------------------------------------
 
@@ -546,6 +702,60 @@ mod tests {
         assert_eq!(plan.effective_max_states(Some(50)), Some(50));
         assert_eq!(plan.effective_max_states(Some(500)), Some(100));
         assert_eq!(FaultPlan::none().effective_max_states(None), None);
+    }
+
+    #[test]
+    fn shared_meter_reserves_within_one_batch_per_worker() {
+        let m = SharedMeter::new(Budget::unlimited(), CancelToken::new());
+        let cap = 100usize;
+        let batch = 8usize;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| while m.try_reserve_states(batch, cap) {});
+            }
+        });
+        assert!(m.states() >= cap.saturating_sub(4 * batch));
+        assert!(m.states() <= cap + 4 * batch, "states = {}", m.states());
+        assert_eq!(m.exhaustion(), Some(Exhaustion::States));
+        assert!(m.is_stopped());
+    }
+
+    #[test]
+    fn shared_meter_checkpoint_observes_cancel_and_deadline() {
+        let cancel = CancelToken::new();
+        let m = SharedMeter::new(Budget::unlimited(), cancel.clone());
+        assert!(m.checkpoint().is_ok());
+        cancel.cancel();
+        assert_eq!(m.checkpoint(), Err(Stop::Cancelled));
+        assert!(m.is_stopped());
+
+        let past = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        let m = SharedMeter::new(past, CancelToken::new());
+        assert_eq!(m.checkpoint(), Err(Stop::Exhausted(Exhaustion::Deadline)));
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn shared_meter_settles_ticks_and_exhaustion_into_budget_meter() {
+        let shared = SharedMeter::new(Budget::unlimited(), CancelToken::new());
+        shared.charge_ticks(42);
+        shared.note_exhaustion(Exhaustion::Memory);
+        let mut meter = BudgetMeter::unlimited();
+        shared.settle_into(&mut meter);
+        assert_eq!(meter.iters(), 42);
+        assert_eq!(meter.exhaustion(), Some(Exhaustion::Memory));
+    }
+
+    #[test]
+    fn shared_meter_memory_accounting_trips() {
+        let m = SharedMeter::new(
+            Budget::unlimited().with_max_set_bytes(100),
+            CancelToken::new(),
+        );
+        assert!(m.try_grow_bytes(60));
+        assert!(!m.try_grow_bytes(60));
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Memory));
+        assert_eq!(m.bytes(), 120);
     }
 
     #[test]

@@ -17,32 +17,54 @@
 //! freedom)**: every visited state is either `√` or has at least one
 //! successor.
 //!
+//! ## Two engines, one contract
+//!
+//! - The **sequential reference** ([`explore_budgeted`]) is a cloned-tree
+//!   breadth-first search — deliberately simple, the oracle the
+//!   differential tests trust.
+//! - The **interned engine** ([`explore_parallel_budgeted`],
+//!   [`explore_interned_budgeted`]) hash-conses every statement, tree and
+//!   array into 32-bit ids (see [`crate::intern`]) so a state is one
+//!   packed `u64`, and drains the frontier with *work-stealing* workers:
+//!   each worker owns a deque (push/pop at the back), steals the front
+//!   half of a victim's deque when empty, and all workers share one
+//!   [`SharedMeter`] so a global budget bounds the whole crew.
+//!
+//! Both engines deduplicate states by **canonical `∥`-form** by default
+//! ([`ExploreConfig::canonical_dedup`]): `T₁ ∥ T₂` and `T₂ ∥ T₁` are the
+//! same state. Canonicalization is a bisimulation (see
+//! [`Tree::canonical`]), so the MHP set, deadlock verdict and terminal
+//! count are unchanged while `∥`-symmetric spaces shrink, often
+//! exponentially in the number of peer activities. Because the canonical
+//! order is *structural* (never interner-id order), results are
+//! schedule-independent: any worker count, any steal order, any fault
+//! plan yields byte-identical canonical state sets.
+//!
 //! ## Robustness
 //!
-//! The budgeted entry points ([`explore_budgeted`],
-//! [`explore_parallel_budgeted`]) accept a [`Budget`] (state cap,
-//! wall-clock deadline, peak visited-set memory), a [`CancelToken`], and
-//! — for the parallel engine — a [`FaultPlan`]. Budget exhaustion
-//! returns a *partial* [`Exploration`] tagged with its [`Exhaustion`]
-//! provenance; cancellation returns [`Fx10Error::Cancelled`]; a worker
-//! panic (organic or injected) is contained by `catch_unwind` and
-//! surfaces as [`Fx10Error::WorkerPanicked`] instead of aborting the
-//! process. Visited-set shards use `std::sync::Mutex` with explicit
-//! poison recovery so one panicked worker cannot wedge the others.
+//! The budgeted entry points accept a [`Budget`] (state cap, wall-clock
+//! deadline, peak visited-set memory), a [`CancelToken`], and — for the
+//! parallel engine — a [`FaultPlan`]. Budget exhaustion returns a
+//! *partial* [`Exploration`] tagged with its [`Exhaustion`] provenance
+//! (state-cap overshoot is bounded by one reservation batch per worker);
+//! cancellation returns [`Fx10Error::Cancelled`]; a worker panic (organic
+//! or injected) is contained by `catch_unwind` and surfaces as
+//! [`Fx10Error::WorkerPanicked`] instead of aborting the process.
 
+use crate::intern::{self, state_key, state_parts, ArrayId, Interner, TreeId};
 use crate::parallel::{parallel, LabelPair};
 use crate::state::ArrayState;
 use crate::step::{initial_tree, successors};
 use crate::tree::Tree;
-use fx10_robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error};
+use fx10_robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error, SharedMeter, Stop};
 use fx10_syntax::Program;
 use std::collections::{BTreeSet, HashSet, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Exploration limits.
+/// Exploration limits and state-representation knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreConfig {
     /// Stop expanding after this many distinct states (the search is then
@@ -55,6 +77,15 @@ pub struct ExploreConfig {
     /// shrinks the state space severalfold; off by default so the
     /// explorer matches the literal semantics.
     pub normalize_admin: bool,
+    /// Deduplicate frontier states by their canonical `∥`-form
+    /// ([`Tree::canonical`]): `T₁ ∥ T₂` and `T₂ ∥ T₁` are one state.
+    /// Sound (swapping `∥` children is a bisimulation) and on by default;
+    /// turn off to enumerate the literal, orientation-sensitive space.
+    pub canonical_dedup: bool,
+    /// Record a canonical digest (`"cells ⊢ tree"`) of every visited
+    /// state in [`Exploration::state_digests`]. Off by default — this is
+    /// the differential-testing hook, not a production feature.
+    pub collect_states: bool,
 }
 
 impl Default for ExploreConfig {
@@ -62,6 +93,8 @@ impl Default for ExploreConfig {
         ExploreConfig {
             max_states: 200_000,
             normalize_admin: false,
+            canonical_dedup: true,
+            collect_states: false,
         }
     }
 }
@@ -85,6 +118,27 @@ pub struct Exploration {
     pub deadlock_free: bool,
     /// Number of terminal (`√`) states reached.
     pub terminals: usize,
+    /// Canonical renderings of every visited state, when
+    /// [`ExploreConfig::collect_states`] was set. Byte-comparable across
+    /// engines, representations (cloned vs interned) and worker counts —
+    /// the currency of the differential oracle.
+    pub state_digests: Option<BTreeSet<String>>,
+}
+
+impl Exploration {
+    /// An empty, truncation-tagged result (the degenerate fallback for
+    /// infallible legacy entry points).
+    fn empty_truncated() -> Exploration {
+        Exploration {
+            visited: 0,
+            truncated: true,
+            exhausted: Some(Exhaustion::States),
+            mhp: BTreeSet::new(),
+            deadlock_free: true,
+            terminals: 0,
+            state_digests: None,
+        }
+    }
 }
 
 /// One state of the transition system (the program is fixed).
@@ -101,9 +155,13 @@ impl State {
             + self.tree.node_count() * 48
             + std::mem::size_of_val(self.array.cells())
     }
+
+    fn digest(&self) -> String {
+        format!("{:?} ⊢ {}", self.array.cells(), self.tree)
+    }
 }
 
-/// How often the sequential explorer polls the clock and cancel token.
+/// How often the explorers poll the clock and cancel token.
 const POLL_STRIDE: usize = 256;
 
 /// Sequential breadth-first exploration from `(A₀(input), ⟨s₀⟩)`.
@@ -115,19 +173,28 @@ pub fn explore(p: &Program, input: &[i64], config: ExploreConfig) -> Exploration
         // Unreachable: with no cancel token holder and no deadline the
         // budgeted explorer cannot fail — but never panic on a library
         // path; degrade to an empty truncated result instead.
-        Err(_) => Exploration {
-            visited: 0,
-            truncated: true,
-            exhausted: Some(Exhaustion::States),
-            mhp: BTreeSet::new(),
-            deadlock_free: true,
-            terminals: 0,
-        },
+        Err(_) => Exploration::empty_truncated(),
+    }
+}
+
+/// Applies the configured state-shaping (admin normalization, canonical
+/// `∥`-form) to a cloned tree.
+fn shape(config: &ExploreConfig, t: Tree) -> Tree {
+    let t = if config.normalize_admin {
+        t.normalized()
+    } else {
+        t
+    };
+    if config.canonical_dedup {
+        t.canonical()
+    } else {
+        t
     }
 }
 
 /// Sequential breadth-first exploration under a [`Budget`] and a
-/// [`CancelToken`].
+/// [`CancelToken`] — the cloned-tree *reference engine* the differential
+/// oracle compares everything against.
 ///
 /// Budget exhaustion (states, deadline, memory) returns `Ok` with a
 /// partial, [`Exploration::exhausted`]-tagged result; cancellation
@@ -145,16 +212,9 @@ pub fn explore_budgeted(
     let max_states = budget
         .max_states
         .map_or(config.max_states, |b| b.min(config.max_states));
-    let norm = |t: Tree| {
-        if config.normalize_admin {
-            t.normalized()
-        } else {
-            t
-        }
-    };
     let init = State {
         array: ArrayState::with_input(p, input),
-        tree: norm(initial_tree(p)),
+        tree: shape(&config, initial_tree(p)),
     };
     let mut approx_bytes = init.approx_bytes();
     let mut visited: HashSet<State> = HashSet::new();
@@ -198,7 +258,7 @@ pub fn explore_budgeted(
             }
             let next = State {
                 array: s.array,
-                tree: norm(s.tree),
+                tree: shape(&config, s.tree),
             };
             if visited.insert(next.clone()) {
                 approx_bytes += next.approx_bytes();
@@ -213,6 +273,9 @@ pub fn explore_budgeted(
         mhp.extend(parallel(&st.tree));
     }
 
+    let state_digests = config
+        .collect_states
+        .then(|| visited.iter().map(State::digest).collect());
     Ok(Exploration {
         visited: visited.len(),
         truncated: exhausted.is_some(),
@@ -220,21 +283,22 @@ pub fn explore_budgeted(
         mhp,
         deadlock_free,
         terminals,
+        state_digests,
     })
 }
 
 const SHARDS: usize = 64;
 
-fn shard_of(state: &State) -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    state.hash(&mut h);
-    (h.finish() as usize) % SHARDS
+/// Shard index of a packed state key (multiplicative hash — the key is
+/// already a pair of dense ids, `DefaultHasher` would be overkill).
+fn shard_idx(key: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % SHARDS
 }
 
 /// Locks a shard, recovering from poisoning: a worker that panicked while
-/// holding the lock leaves the set in a superset-consistent state (the
-/// insert either happened or did not), so continuing is safe for a
-/// visited-set whose only invariant is "grows monotonically".
+/// holding the lock leaves the structure in a consistent state for our
+/// invariants (visited sets only grow; deques hold plain keys), so
+/// continuing is safe.
 fn lock_shard<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -259,50 +323,202 @@ pub fn explore_parallel(
         &FaultPlan::none(),
     ) {
         Ok(e) => e,
-        Err(_) => Exploration {
-            visited: 0,
-            truncated: true,
-            exhausted: Some(Exhaustion::States),
-            mhp: BTreeSet::new(),
-            deadlock_free: true,
-            terminals: 0,
-        },
+        Err(_) => Exploration::empty_truncated(),
     }
 }
 
-/// Shared coordination state of one parallel exploration.
-struct Crew {
-    /// Work queue; popped FIFO (or LIFO under an adversarial plan).
-    queue: Mutex<VecDeque<State>>,
-    /// States handed out but not yet fully expanded.
-    pending: AtomicUsize,
-    /// Distinct states inserted across all shards.
-    visited_count: AtomicUsize,
-    /// Approximate bytes held by the visited shards.
-    approx_bytes: AtomicUsize,
-    /// First budget wall hit, encoded (0 = none).
-    exhausted: Mutex<Option<Exhaustion>>,
-    /// Set when any stop condition fires (budget, cancel, panic): workers
-    /// drain out promptly instead of spinning.
-    stop: AtomicBool,
-    /// Theorem-1 verdict.
-    deadlock_free: AtomicBool,
-    /// Terminal states seen.
-    terminals: AtomicUsize,
-    /// First worker panic (index, rendered payload).
-    panic: Mutex<Option<(usize, String)>>,
-    /// Cancellation observed by any worker.
-    cancelled: AtomicBool,
+/// Single-threaded exploration on the *interned* engine — same
+/// hash-consed representation as the parallel explorer, no worker
+/// threads. Useful as the `jobs = 1` point of scaling comparisons and as
+/// a fast sequential engine in its own right.
+pub fn explore_interned_budgeted(
+    p: &Program,
+    input: &[i64],
+    config: ExploreConfig,
+    budget: Budget,
+    cancel: &CancelToken,
+) -> Result<Exploration, Fx10Error> {
+    explore_parallel_budgeted(p, input, config, 1, budget, cancel, &FaultPlan::none())
 }
 
-/// Multi-threaded exploration under a [`Budget`], a [`CancelToken`] and a
-/// [`FaultPlan`].
+/// The shared mutable side of one work-stealing exploration.
+struct Engine<'p> {
+    p: &'p Program,
+    interner: Interner,
+    normalize: bool,
+    max_states: usize,
+    /// Distinct packed state keys, sharded.
+    visited: Vec<Mutex<HashSet<u64>>>,
+    /// One work deque per worker: the owner pushes and pops at the back,
+    /// thieves take the front half (the opposite under an adversarial
+    /// plan).
+    deques: Vec<Mutex<VecDeque<u64>>>,
+    /// Seed states, consulted when a worker's own deque and all steals
+    /// come up empty.
+    injector: Mutex<VecDeque<u64>>,
+    /// States discovered but not yet fully expanded — the termination
+    /// barrier: no work anywhere and `pending == 0` means done.
+    pending: AtomicUsize,
+    /// Crew-wide budget accounting (states, bytes, deadline, cancel).
+    meter: SharedMeter,
+    deadlock_free: AtomicBool,
+    terminals: AtomicUsize,
+    cancelled: AtomicBool,
+    /// First worker panic (index, rendered payload).
+    panic: Mutex<Option<(usize, String)>>,
+}
+
+impl Engine<'_> {
+    /// Per-admitted-state contribution to the approximate memory budget:
+    /// the visited-set key plus the state's amortized share of the
+    /// interner (one tree node, one deque slot, map entries).
+    fn state_bytes(&self, a: ArrayId) -> usize {
+        64 + std::mem::size_of_val(self.interner.cells(a))
+    }
+
+    /// Takes the next state: own deque first, then the injector, then a
+    /// steal of half of some victim's deque.
+    fn grab(&self, id: usize, adversarial: bool) -> Option<u64> {
+        {
+            let mut own = lock_shard(&self.deques[id]);
+            let got = if adversarial {
+                own.pop_front()
+            } else {
+                own.pop_back()
+            };
+            if got.is_some() {
+                return got;
+            }
+        }
+        if let Some(k) = lock_shard(&self.injector).pop_front() {
+            return Some(k);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (id + off) % n;
+            let mut stolen: VecDeque<u64> = {
+                let mut v = lock_shard(&self.deques[victim]);
+                let take = v.len().div_ceil(2);
+                if take == 0 {
+                    continue;
+                }
+                if adversarial {
+                    // Steal the owner's end — maximal interference.
+                    let keep = v.len() - take;
+                    v.split_off(keep)
+                } else {
+                    // Steal the cold front half, leave the owner its
+                    // cache-hot back.
+                    let rest = v.split_off(take);
+                    std::mem::replace(&mut *v, rest)
+                }
+            };
+            let first = if adversarial {
+                stolen.pop_back()
+            } else {
+                stolen.pop_front()
+            };
+            if !stolen.is_empty() {
+                lock_shard(&self.deques[id]).extend(stolen);
+            }
+            debug_assert!(first.is_some());
+            return first;
+        }
+        None
+    }
+
+    /// Expands one state: records the terminal / deadlock verdicts and
+    /// enqueues every newly-discovered successor (recording its tree for
+    /// the MHP union). Returns early when a budget wall is hit — the
+    /// reservation failure has already raised the stop flag.
+    fn expand(
+        &self,
+        id: usize,
+        key: u64,
+        trees: &mut HashSet<TreeId>,
+        scratch: &mut Vec<(ArrayId, TreeId)>,
+    ) {
+        let (a, t) = state_parts(key);
+        if t == intern::DONE {
+            self.terminals.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        scratch.clear();
+        self.interner.successors(self.p, a, t, scratch);
+        self.meter.charge_ticks(1);
+        if scratch.is_empty() {
+            self.deadlock_free.store(false, Ordering::Relaxed);
+            return;
+        }
+        for &(sa, st) in scratch.iter() {
+            let st = if self.normalize {
+                self.interner.normalized(st)
+            } else {
+                st
+            };
+            let k = state_key(sa, st);
+            if !lock_shard(&self.visited[shard_idx(k)]).insert(k) {
+                continue;
+            }
+            if !self.meter.try_reserve_states(1, self.max_states)
+                || !self.meter.try_grow_bytes(self.state_bytes(sa))
+            {
+                // Budget wall: exhaustion recorded, stop flag raised.
+                return;
+            }
+            trees.insert(st);
+            self.pending.fetch_add(1, Ordering::SeqCst);
+            lock_shard(&self.deques[id]).push_back(k);
+        }
+    }
+
+    /// One worker's drain loop. Returns the trees it discovered (for the
+    /// MHP union). Panics escape to the `catch_unwind` in the spawner.
+    fn worker(&self, id: usize, faults: &FaultPlan) -> HashSet<TreeId> {
+        let mut trees = HashSet::new();
+        let mut scratch = Vec::new();
+        let mut processed = 0u64;
+        loop {
+            if self.meter.is_stopped() {
+                break;
+            }
+            let Some(key) = self.grab(id, faults.adversarial_schedule) else {
+                if self.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            };
+            processed += 1;
+            if faults.should_panic(id, processed) {
+                panic!("injected fault: worker {id} after {processed} state(s)");
+            }
+            if processed.is_multiple_of(POLL_STRIDE as u64) {
+                if let Err(stop) = self.meter.checkpoint() {
+                    if stop == Stop::Cancelled {
+                        self.cancelled.store(true, Ordering::SeqCst);
+                    }
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+            }
+            self.expand(id, key, &mut trees, &mut scratch);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        trees
+    }
+}
+
+/// Multi-threaded work-stealing exploration on hash-consed state ids,
+/// under a [`Budget`], a [`CancelToken`] and a [`FaultPlan`].
 ///
-/// Worker panics — organic or injected by the plan — are caught per
-/// worker; the first one is reported as [`Fx10Error::WorkerPanicked`]
-/// after all workers have drained (the process never aborts, and no
-/// worker is left blocked). Cancellation wins over budget exhaustion;
-/// panics win over both.
+/// All workers share one [`SharedMeter`], so the state budget bounds the
+/// *crew*: total admitted states never exceed the cap by more than one
+/// reservation batch per worker. Worker panics — organic or injected by
+/// the plan — are caught per worker; the first one is reported as
+/// [`Fx10Error::WorkerPanicked`] after all workers have drained (the
+/// process never aborts, and no worker is left blocked). Cancellation
+/// wins over budget exhaustion; panics win over both.
 pub fn explore_parallel_budgeted(
     p: &Program,
     input: &[i64],
@@ -317,197 +533,111 @@ pub fn explore_parallel_budgeted(
     let max_states = faults
         .effective_max_states(budget.max_states)
         .map_or(config.max_states, |b| b.min(config.max_states));
-    let norm = |t: Tree| {
+
+    let engine = Engine {
+        p,
+        interner: Interner::new(config.canonical_dedup),
+        normalize: config.normalize_admin,
+        max_states,
+        visited: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        injector: Mutex::new(VecDeque::new()),
+        pending: AtomicUsize::new(0),
+        meter: SharedMeter::new(budget, cancel.clone()),
+        deadlock_free: AtomicBool::new(true),
+        terminals: AtomicUsize::new(0),
+        cancelled: AtomicBool::new(false),
+        panic: Mutex::new(None),
+    };
+
+    let a0 = engine
+        .interner
+        .intern_array(ArrayState::with_input(p, input).cells().to_vec());
+    let t0 = {
+        let t = engine.interner.intern_tree(&initial_tree(p));
         if config.normalize_admin {
-            t.normalized()
+            engine.interner.normalized(t)
         } else {
             t
         }
     };
-    let init = State {
-        array: ArrayState::with_input(p, input),
-        tree: norm(initial_tree(p)),
-    };
+    let seed = state_key(a0, t0);
+    let mut trees: HashSet<TreeId> = HashSet::new();
 
-    let visited: Vec<Mutex<HashSet<State>>> =
-        (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
-    let crew = Crew {
-        queue: Mutex::new(VecDeque::new()),
-        pending: AtomicUsize::new(0),
-        visited_count: AtomicUsize::new(1),
-        approx_bytes: AtomicUsize::new(init.approx_bytes()),
-        exhausted: Mutex::new(None),
-        stop: AtomicBool::new(false),
-        deadlock_free: AtomicBool::new(true),
-        terminals: AtomicUsize::new(0),
-        panic: Mutex::new(None),
-        cancelled: AtomicBool::new(false),
-    };
-    lock_shard(&visited[shard_of(&init)]).insert(init.clone());
-    crew.pending.store(1, Ordering::SeqCst);
-    lock_shard(&crew.queue).push_back(init);
+    if engine.meter.try_reserve_states(1, max_states)
+        && engine.meter.try_grow_bytes(engine.state_bytes(a0))
+    {
+        lock_shard(&engine.visited[shard_idx(seed)]).insert(seed);
+        trees.insert(t0);
+        engine.pending.store(1, Ordering::SeqCst);
+        lock_shard(&engine.injector).push_back(seed);
 
-    let mut partial_mhp: Vec<BTreeSet<LabelPair>> = Vec::new();
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for worker_id in 0..threads {
-            let crew = &crew;
-            let visited = &visited;
-            let norm = &norm;
-            handles.push(scope.spawn(move || {
-                let mut local_mhp: BTreeSet<LabelPair> = BTreeSet::new();
-                let mut processed = 0u64;
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    worker_loop(
-                        p,
-                        budget,
-                        cancel,
-                        faults,
-                        crew,
-                        visited,
-                        norm,
-                        worker_id,
-                        max_states,
-                        &mut local_mhp,
-                        &mut processed,
-                    )
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker_id in 0..threads {
+                let engine = &engine;
+                handles.push(scope.spawn(move || {
+                    match catch_unwind(AssertUnwindSafe(|| engine.worker(worker_id, faults))) {
+                        Ok(local) => local,
+                        Err(payload) => {
+                            // Contain the panic: record it and tell the
+                            // crew to drain out (the in-flight pending
+                            // credit is moot once the stop flag is up).
+                            lock_shard(&engine.panic).get_or_insert_with(|| {
+                                (worker_id, fx10_robust::panic_message(payload.as_ref()))
+                            });
+                            engine.meter.request_stop();
+                            HashSet::new()
+                        }
+                    }
                 }));
-                if let Err(payload) = result {
-                    // Contain the panic: record it, release the state we
-                    // were holding, and tell everyone to drain out.
-                    let mut first = lock_shard(&crew.panic);
-                    first.get_or_insert_with(|| {
-                        (worker_id, fx10_robust::panic_message(payload.as_ref()))
-                    });
-                    drop(first);
-                    crew.stop.store(true, Ordering::SeqCst);
-                    // The popped state was never re-queued; make the
-                    // pending count consistent so nobody waits on it.
-                    crew.pending.fetch_sub(1, Ordering::SeqCst);
-                }
-                local_mhp
-            }));
-        }
-        for h in handles {
-            // Worker closures never unwind (the catch is inside), so the
-            // join itself cannot fail; fall back to an empty set rather
-            // than propagating a panic out of the library.
-            partial_mhp.push(h.join().unwrap_or_default());
-        }
-    });
+            }
+            for h in handles {
+                // Worker closures never unwind (the catch is inside), so
+                // the join itself cannot fail.
+                trees.extend(h.join().unwrap_or_default());
+            }
+        });
+    }
 
-    if let Some((worker, message)) = lock_shard(&crew.panic).take() {
+    if let Some((worker, message)) = lock_shard(&engine.panic).take() {
         return Err(Fx10Error::WorkerPanicked { worker, message });
     }
-    if crew.cancelled.load(Ordering::SeqCst) || cancel.is_cancelled() {
+    if engine.cancelled.load(Ordering::SeqCst) || cancel.is_cancelled() {
         return Err(Fx10Error::Cancelled);
     }
 
-    let mut mhp = BTreeSet::new();
-    for part in partial_mhp {
-        mhp.extend(part);
-    }
+    // Dynamic MHP over every *discovered* state (queued-but-unexpanded
+    // states included, exactly like the sequential engine's queue drain),
+    // memoized per distinct tree id.
+    let mhp = engine.interner.parallel_of_trees(trees.iter().copied());
 
-    let exhausted = *lock_shard(&crew.exhausted);
+    let state_digests = config.collect_states.then(|| {
+        engine
+            .visited
+            .iter()
+            .flat_map(|shard| {
+                lock_shard(shard)
+                    .iter()
+                    .map(|&k| {
+                        let (a, t) = state_parts(k);
+                        engine.interner.render_state(a, t)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    });
+
+    let exhausted = engine.meter.exhaustion();
     Ok(Exploration {
-        visited: crew.visited_count.load(Ordering::Relaxed),
+        visited: engine.meter.states(),
         truncated: exhausted.is_some(),
         exhausted,
         mhp,
-        deadlock_free: crew.deadlock_free.load(Ordering::Relaxed),
-        terminals: crew.terminals.load(Ordering::Relaxed),
+        deadlock_free: engine.deadlock_free.load(Ordering::Relaxed),
+        terminals: engine.terminals.load(Ordering::Relaxed),
+        state_digests,
     })
-}
-
-/// One worker's drain loop. Panics escape to the `catch_unwind` in the
-/// spawner; every other exit path is a clean drain.
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    p: &Program,
-    budget: Budget,
-    cancel: &CancelToken,
-    faults: &FaultPlan,
-    crew: &Crew,
-    visited: &[Mutex<HashSet<State>>],
-    norm: &impl Fn(Tree) -> Tree,
-    worker_id: usize,
-    max_states: usize,
-    local_mhp: &mut BTreeSet<LabelPair>,
-    processed: &mut u64,
-) {
-    loop {
-        if crew.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let next = {
-            let mut q = lock_shard(&crew.queue);
-            if faults.adversarial_schedule {
-                q.pop_back()
-            } else {
-                q.pop_front()
-            }
-        };
-        let Some(st) = next else {
-            if crew.pending.load(Ordering::SeqCst) == 0 {
-                break;
-            }
-            std::thread::yield_now();
-            continue;
-        };
-
-        *processed += 1;
-        if faults.should_panic(worker_id, *processed) {
-            panic!("injected fault: worker {worker_id} after {processed} state(s)");
-        }
-        if cancel.is_cancelled() {
-            crew.cancelled.store(true, Ordering::SeqCst);
-            crew.stop.store(true, Ordering::SeqCst);
-            crew.pending.fetch_sub(1, Ordering::SeqCst);
-            break;
-        }
-        if budget.deadline_exceeded() {
-            lock_shard(&crew.exhausted).get_or_insert(Exhaustion::Deadline);
-            crew.stop.store(true, Ordering::SeqCst);
-            crew.pending.fetch_sub(1, Ordering::SeqCst);
-            break;
-        }
-
-        local_mhp.extend(parallel(&st.tree));
-        if st.tree.is_done() {
-            crew.terminals.fetch_add(1, Ordering::Relaxed);
-        } else {
-            let succ = successors(p, &st.array, &st.tree);
-            if succ.is_empty() {
-                crew.deadlock_free.store(false, Ordering::Relaxed);
-            }
-            for s in succ {
-                if crew.visited_count.load(Ordering::Relaxed) >= max_states {
-                    lock_shard(&crew.exhausted).get_or_insert(Exhaustion::States);
-                    crew.stop.store(true, Ordering::SeqCst);
-                    break;
-                }
-                if budget.memory_exhausted(crew.approx_bytes.load(Ordering::Relaxed)) {
-                    lock_shard(&crew.exhausted).get_or_insert(Exhaustion::Memory);
-                    crew.stop.store(true, Ordering::SeqCst);
-                    break;
-                }
-                let next = State {
-                    array: s.array,
-                    tree: norm(s.tree),
-                };
-                let is_new = lock_shard(&visited[shard_of(&next)]).insert(next.clone());
-                if is_new {
-                    crew.visited_count.fetch_add(1, Ordering::Relaxed);
-                    crew.approx_bytes
-                        .fetch_add(next.approx_bytes(), Ordering::Relaxed);
-                    crew.pending.fetch_add(1, Ordering::SeqCst);
-                    lock_shard(&crew.queue).push_back(next);
-                }
-            }
-        }
-        crew.pending.fetch_sub(1, Ordering::SeqCst);
-    }
 }
 
 #[cfg(test)]
@@ -681,6 +811,50 @@ mod tests {
     }
 
     #[test]
+    fn canonical_dedup_preserves_verdicts_and_shrinks_symmetric_spaces() {
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::same_category(),
+        ] {
+            let literal = explore(
+                &p,
+                &[],
+                ExploreConfig {
+                    canonical_dedup: false,
+                    ..ExploreConfig::default()
+                },
+            );
+            let canonical = explore(&p, &[], ExploreConfig::default());
+            assert_eq!(literal.mhp, canonical.mhp, "MHP must be unchanged");
+            assert_eq!(literal.deadlock_free, canonical.deadlock_free);
+            assert_eq!(literal.terminals, canonical.terminals);
+            assert!(
+                canonical.visited <= literal.visited,
+                "canonicalization cannot grow the space"
+            );
+        }
+        // A space with real ∥-symmetry strictly shrinks.
+        let p = Program::parse("def main() { async { B; } async { B; } K; }").unwrap();
+        let lit = explore(
+            &p,
+            &[],
+            ExploreConfig {
+                canonical_dedup: false,
+                ..ExploreConfig::default()
+            },
+        );
+        let canon = explore(&p, &[], ExploreConfig::default());
+        assert_eq!(lit.mhp, canon.mhp);
+        assert!(
+            canon.visited < lit.visited,
+            "{} !< {}",
+            canon.visited,
+            lit.visited
+        );
+    }
+
+    #[test]
     fn tree_normalization_is_idempotent_and_mhp_monotone() {
         use crate::parallel::parallel;
         let p = examples::example_2_2();
@@ -731,6 +905,35 @@ mod tests {
         let par = explore_parallel(&p, &[], ExploreConfig::default(), 8);
         assert_eq!(seq.mhp, par.mhp);
         assert_eq!(seq.visited, par.visited);
+    }
+
+    #[test]
+    fn interned_engine_matches_cloned_reference_digests() {
+        let config = ExploreConfig {
+            collect_states: true,
+            ..ExploreConfig::default()
+        };
+        for p in [
+            examples::example_2_1(),
+            examples::example_2_2(),
+            examples::same_category(),
+        ] {
+            let cloned =
+                explore_budgeted(&p, &[], config, Budget::unlimited(), &CancelToken::new())
+                    .unwrap();
+            let interned = explore_interned_budgeted(
+                &p,
+                &[],
+                config,
+                Budget::unlimited(),
+                &CancelToken::new(),
+            )
+            .unwrap();
+            assert_eq!(cloned.state_digests, interned.state_digests);
+            assert_eq!(cloned.mhp, interned.mhp);
+            assert_eq!(cloned.visited, interned.visited);
+            assert_eq!(cloned.terminals, interned.terminals);
+        }
     }
 
     #[test]
@@ -833,6 +1036,34 @@ mod tests {
         .unwrap();
         assert!(e.truncated);
         assert_eq!(e.exhausted, Some(Exhaustion::Memory));
+    }
+
+    #[test]
+    fn parallel_engine_respects_shared_state_budget() {
+        // An unbounded space, a small shared budget: every worker count
+        // must stop within `budget + one reservation batch per worker`
+        // and tag the truncation.
+        let p =
+            Program::parse("def main() { a[0] = 1; while (a[0] != 0) { async { B; } } }").unwrap();
+        for jobs in [1usize, 2, 8] {
+            let e = explore_parallel_budgeted(
+                &p,
+                &[],
+                ExploreConfig::default(),
+                jobs,
+                Budget::unlimited().with_max_states(300),
+                &CancelToken::new(),
+                &FaultPlan::none(),
+            )
+            .unwrap();
+            assert!(e.truncated, "jobs={jobs}");
+            assert_eq!(e.exhausted, Some(Exhaustion::States), "jobs={jobs}");
+            assert!(
+                e.visited <= 300 + jobs,
+                "jobs={jobs}: visited {} exceeds budget + one batch per worker",
+                e.visited
+            );
+        }
     }
 
     #[test]

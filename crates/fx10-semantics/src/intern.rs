@@ -1,0 +1,849 @@
+//! Hash-consing interners for execution trees, statements and array
+//! states.
+//!
+//! The exhaustive explorer's hot loop is dominated by deep-cloning and
+//! re-hashing execution trees `T ::= √ | ⟨s⟩ | T ▷ T | T ∥ T`. This
+//! module replaces those clones with *hash-consed ids*: every distinct
+//! statement, tree node and array value is stored exactly once and named
+//! by a dense 32-bit id ([`StmtId`], [`TreeId`], [`ArrayId`]), so
+//!
+//! - equality and hashing of states are O(1) on a packed `u64` key,
+//! - a successor tree shares every unchanged subtree with its parent
+//!   (structural sharing — building `T₁' ▷ T₂` touches one node), and
+//! - per-tree results (`FTlabels`, `parallel`) can be memoized by id.
+//!
+//! ## Canonical `∥` forms
+//!
+//! When constructed in canonical mode, `∥` nodes keep their children in
+//! *structural order* (the derived [`Ord`] on [`Tree`]), which quotients
+//! the state space by the `∥`-symmetry `T₁ ∥ T₂ ≈ T₂ ∥ T₁`. Swapping
+//! `∥` children is a bisimulation — successors of the swapped tree are
+//! exactly the swaps of the successors, with identical array states —
+//! and `parallel`/`FTlabels` are already symmetric, so exploring
+//! canonical representatives preserves the dynamic MHP set, the
+//! deadlock-freedom verdict and the terminal states while (often
+//! dramatically) shrinking the visited set. Crucially the order is
+//! structural, *never* id-based: interning order differs between runs
+//! and schedules, but canonical forms do not.
+//!
+//! ## Concurrency
+//!
+//! All interners are safe to share across worker threads: id→value
+//! lookups are lock-free reads of append-only paged storage, and
+//! value→id interning takes one sharded lock. Ids are published to other
+//! workers only through locks or join points, which order the paged
+//! writes before any cross-thread read.
+
+use crate::parallel::{pair, LabelPair};
+use crate::tree::Tree;
+use fx10_syntax::{InstrKind, Label, Program, Stmt};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// An interned statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+/// An interned execution tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeId(pub u32);
+
+/// An interned array state (the full cell vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// The interned `√` tree (id 0 is reserved for it at construction).
+pub const DONE: TreeId = TreeId(0);
+
+/// One state of the interned transition system, packed into a `u64` —
+/// O(1) equality and hashing, 8 bytes in the visited set.
+#[inline]
+pub fn state_key(a: ArrayId, t: TreeId) -> u64 {
+    ((a.0 as u64) << 32) | t.0 as u64
+}
+
+/// Inverse of [`state_key`].
+#[inline]
+pub fn state_parts(key: u64) -> (ArrayId, TreeId) {
+    (ArrayId((key >> 32) as u32), TreeId(key as u32))
+}
+
+const PAGE_BITS: usize = 13;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const PAGE_MASK: u32 = (PAGE_SIZE - 1) as u32;
+const MAX_PAGES: usize = 1 << 15;
+/// Hard capacity per interner (2^28 ids ≈ 268M); state budgets keep real
+/// explorations far below this.
+const MAX_IDS: u32 = (MAX_PAGES << PAGE_BITS) as u32;
+const SHARDS: usize = 32;
+
+/// Append-only paged storage of packed `u64` values with lock-free
+/// reads. Slots are written exactly once, before their index escapes the
+/// interning lock.
+struct U64Pages {
+    pages: Vec<OnceLock<Box<[AtomicU64]>>>,
+}
+
+impl U64Pages {
+    fn new() -> Self {
+        U64Pages {
+            pages: (0..MAX_PAGES).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn page(&self, idx: u32) -> &[AtomicU64] {
+        self.pages[(idx >> PAGE_BITS) as usize].get_or_init(|| {
+            (0..PAGE_SIZE)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        })
+    }
+
+    fn set(&self, idx: u32, v: u64) {
+        self.page(idx)[(idx & PAGE_MASK) as usize].store(v, Ordering::Release);
+    }
+
+    fn get(&self, idx: u32) -> u64 {
+        self.page(idx)[(idx & PAGE_MASK) as usize].load(Ordering::Acquire)
+    }
+}
+
+/// Append-only paged storage of owned values (statements, cell vectors)
+/// with lock-free reads.
+struct SlotPages<T> {
+    pages: Vec<OnceLock<Box<[OnceLock<T>]>>>,
+}
+
+impl<T> SlotPages<T> {
+    fn new() -> Self {
+        SlotPages {
+            pages: (0..MAX_PAGES).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn page(&self, idx: u32) -> &[OnceLock<T>] {
+        self.pages[(idx >> PAGE_BITS) as usize].get_or_init(|| {
+            (0..PAGE_SIZE)
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        })
+    }
+
+    fn set(&self, idx: u32, v: T) {
+        // Slots are written once, under the owning shard lock, before the
+        // id escapes; a second set can only be the same value racing and
+        // is ignored.
+        let _ = self.page(idx)[(idx & PAGE_MASK) as usize].set(v);
+    }
+
+    fn get(&self, idx: u32) -> &T {
+        self.page(idx)[(idx & PAGE_MASK) as usize]
+            .get()
+            .expect("interned id read before its slot was published")
+    }
+}
+
+fn shard_of<K: Hash>(k: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A decoded interned tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TNode {
+    /// `√`.
+    Done,
+    /// `⟨s⟩`.
+    Stm(StmtId),
+    /// `T₁ ▷ T₂`.
+    Seq(TreeId, TreeId),
+    /// `T₁ ∥ T₂`.
+    Par(TreeId, TreeId),
+}
+
+const TAG_DONE: u64 = 0;
+const TAG_STM: u64 = 1;
+const TAG_SEQ: u64 = 2;
+const TAG_PAR: u64 = 3;
+
+#[inline]
+fn pack(tag: u64, a: u32, b: u32) -> u64 {
+    tag | ((a as u64) << 2) | ((b as u64) << 33)
+}
+
+#[inline]
+fn unpack(v: u64) -> (u64, u32, u32) {
+    (v & 3, ((v >> 2) & 0x7fff_ffff) as u32, (v >> 33) as u32)
+}
+
+/// The shared hash-consing interner: statements, trees and array states.
+pub struct Interner {
+    canonical: bool,
+
+    // Statements.
+    stmt_map: Vec<Mutex<HashMap<Stmt, u32>>>,
+    stmt_vals: SlotPages<Stmt>,
+    /// Tail links: 0 = unset, 1 = no tail, otherwise tail id + 2.
+    stmt_tails: U64Pages,
+    stmt_next: AtomicU32,
+
+    // Trees (packed nodes).
+    tree_map: Vec<Mutex<HashMap<u64, u32>>>,
+    tree_nodes: U64Pages,
+    tree_next: AtomicU32,
+
+    // Array states.
+    array_map: Vec<Mutex<HashMap<Vec<i64>, u32>>>,
+    array_vals: SlotPages<Vec<i64>>,
+    array_next: AtomicU32,
+
+    /// `⟨s⟩ → ⟨s'⟩` derivations that concatenate statements (while-unroll
+    /// and call-inline), memoized by the source statement id.
+    unroll_cache: Vec<Mutex<HashMap<u32, u32>>>,
+    /// `async`/`finish` body statements, memoized by the instruction's
+    /// (program-unique) label.
+    spawn_cache: Vec<Mutex<HashMap<Label, u32>>>,
+}
+
+impl Interner {
+    /// A fresh interner. `canonical` selects canonical-`∥` construction
+    /// (the default for the explorer); pass `false` to intern literal
+    /// trees, e.g. to mirror the un-deduplicated reference semantics.
+    pub fn new(canonical: bool) -> Self {
+        let it = Interner {
+            canonical,
+            stmt_map: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            stmt_vals: SlotPages::new(),
+            stmt_tails: U64Pages::new(),
+            stmt_next: AtomicU32::new(0),
+            tree_map: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            tree_nodes: U64Pages::new(),
+            tree_next: AtomicU32::new(0),
+            array_map: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            array_vals: SlotPages::new(),
+            array_next: AtomicU32::new(0),
+            unroll_cache: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            spawn_cache: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        };
+        // Reserve id 0 for √ so `DONE` is a constant.
+        let done = it.intern_node(pack(TAG_DONE, 0, 0));
+        debug_assert_eq!(done, DONE);
+        it
+    }
+
+    /// Is this interner building canonical `∥` forms?
+    pub fn is_canonical(&self) -> bool {
+        self.canonical
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    /// Interns a statement (and, transitively, all its suffixes, so
+    /// [`Self::stmt_tail`] is an O(1) lookup).
+    pub fn intern_stmt(&self, s: &Stmt) -> StmtId {
+        if let Some(&id) = lock(&self.stmt_map[shard_of(s)]).get(s) {
+            return StmtId(id);
+        }
+        let instrs = s.instrs();
+        let mut tail: Option<u32> = None;
+        for k in (0..instrs.len()).rev() {
+            let suffix = s.suffix(k).expect("k < len");
+            tail = Some(self.intern_stmt_with_tail(suffix, tail));
+        }
+        StmtId(tail.expect("statements are non-empty"))
+    }
+
+    fn intern_stmt_with_tail(&self, s: Stmt, tail: Option<u32>) -> u32 {
+        let mut map = lock(&self.stmt_map[shard_of(&s)]);
+        if let Some(&id) = map.get(&s) {
+            return id;
+        }
+        let id = self.stmt_next.fetch_add(1, Ordering::Relaxed);
+        assert!(id < MAX_IDS, "statement interner capacity exceeded");
+        self.stmt_tails.set(id, tail.map_or(1, |t| t as u64 + 2));
+        self.stmt_vals.set(id, s.clone());
+        map.insert(s, id);
+        id
+    }
+
+    /// The interned statement's value.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        self.stmt_vals.get(id.0)
+    }
+
+    /// The statement after the head (`None` when the head is the whole
+    /// statement). O(1): suffixes are interned eagerly.
+    pub fn stmt_tail(&self, id: StmtId) -> Option<StmtId> {
+        match self.stmt_tails.get(id.0) {
+            0 => unreachable!("tail read before publication"),
+            1 => None,
+            t => Some(StmtId((t - 2) as u32)),
+        }
+    }
+
+    // -- trees --------------------------------------------------------------
+
+    fn intern_node(&self, packed: u64) -> TreeId {
+        let mut map = lock(&self.tree_map[shard_of(&packed)]);
+        if let Some(&id) = map.get(&packed) {
+            return TreeId(id);
+        }
+        let id = self.tree_next.fetch_add(1, Ordering::Relaxed);
+        assert!(id < MAX_IDS, "tree interner capacity exceeded");
+        self.tree_nodes.set(id, packed);
+        map.insert(packed, id);
+        TreeId(id)
+    }
+
+    /// `⟨s⟩`.
+    pub fn stm(&self, s: StmtId) -> TreeId {
+        self.intern_node(pack(TAG_STM, s.0, 0))
+    }
+
+    /// `T₁ ▷ T₂`.
+    pub fn seq(&self, a: TreeId, b: TreeId) -> TreeId {
+        self.intern_node(pack(TAG_SEQ, a.0, b.0))
+    }
+
+    /// `T₁ ∥ T₂` — children are put in structural order when the
+    /// interner is canonical.
+    pub fn par(&self, a: TreeId, b: TreeId) -> TreeId {
+        let (a, b) = if self.canonical && self.structural_cmp(a, b) == CmpOrdering::Greater {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        self.intern_node(pack(TAG_PAR, a.0, b.0))
+    }
+
+    /// Decodes an interned tree node.
+    pub fn node(&self, t: TreeId) -> TNode {
+        let (tag, a, b) = unpack(self.tree_nodes.get(t.0));
+        match tag {
+            TAG_DONE => TNode::Done,
+            TAG_STM => TNode::Stm(StmtId(a)),
+            TAG_SEQ => TNode::Seq(TreeId(a), TreeId(b)),
+            TAG_PAR => TNode::Par(TreeId(a), TreeId(b)),
+            _ => unreachable!("2-bit tag"),
+        }
+    }
+
+    /// Structural total order on interned trees, mirroring the derived
+    /// `Ord` on [`Tree`] exactly (`√ < ⟨s⟩ < ▷ < ∥`, then lexicographic
+    /// children; statements compare by their derived order). Because the
+    /// interner hash-conses, `a == b` iff the trees are structurally
+    /// equal, which short-circuits shared subtrees.
+    pub fn structural_cmp(&self, a: TreeId, b: TreeId) -> CmpOrdering {
+        if a == b {
+            return CmpOrdering::Equal;
+        }
+        match (self.node(a), self.node(b)) {
+            (TNode::Done, TNode::Done) => CmpOrdering::Equal,
+            (TNode::Done, _) => CmpOrdering::Less,
+            (_, TNode::Done) => CmpOrdering::Greater,
+            (TNode::Stm(x), TNode::Stm(y)) => self.stmt(x).cmp(self.stmt(y)),
+            (TNode::Stm(_), _) => CmpOrdering::Less,
+            (_, TNode::Stm(_)) => CmpOrdering::Greater,
+            (TNode::Seq(a1, a2), TNode::Seq(b1, b2)) | (TNode::Par(a1, a2), TNode::Par(b1, b2)) => {
+                self.structural_cmp(a1, b1)
+                    .then_with(|| self.structural_cmp(a2, b2))
+            }
+            (TNode::Seq(..), TNode::Par(..)) => CmpOrdering::Less,
+            (TNode::Par(..), TNode::Seq(..)) => CmpOrdering::Greater,
+        }
+    }
+
+    /// Interns a cloned [`Tree`] (canonicalizing `∥` children when the
+    /// interner is canonical).
+    pub fn intern_tree(&self, t: &Tree) -> TreeId {
+        match t {
+            Tree::Done => DONE,
+            Tree::Stm(s) => {
+                let sid = self.intern_stmt(s);
+                self.stm(sid)
+            }
+            Tree::Seq(a, b) => {
+                let (a, b) = (self.intern_tree(a), self.intern_tree(b));
+                self.seq(a, b)
+            }
+            Tree::Par(a, b) => {
+                let (a, b) = (self.intern_tree(a), self.intern_tree(b));
+                self.par(a, b)
+            }
+        }
+    }
+
+    /// Reconstructs the cloned [`Tree`] (for rendering and debugging).
+    pub fn to_tree(&self, t: TreeId) -> Tree {
+        match self.node(t) {
+            TNode::Done => Tree::Done,
+            TNode::Stm(s) => Tree::Stm(self.stmt(s).clone()),
+            TNode::Seq(a, b) => Tree::seq(self.to_tree(a), self.to_tree(b)),
+            TNode::Par(a, b) => Tree::par(self.to_tree(a), self.to_tree(b)),
+        }
+    }
+
+    /// Collapses the administrative `√`-elimination forms, exactly like
+    /// [`Tree::normalized`], over interned nodes.
+    pub fn normalized(&self, t: TreeId) -> TreeId {
+        match self.node(t) {
+            TNode::Done | TNode::Stm(_) => t,
+            TNode::Seq(a, b) => {
+                let na = self.normalized(a);
+                let nb = self.normalized(b);
+                if na == DONE {
+                    nb
+                } else {
+                    self.seq(na, nb)
+                }
+            }
+            TNode::Par(a, b) => {
+                let na = self.normalized(a);
+                let nb = self.normalized(b);
+                if na == DONE {
+                    nb
+                } else if nb == DONE {
+                    na
+                } else {
+                    self.par(na, nb)
+                }
+            }
+        }
+    }
+
+    /// Number of nodes of the denoted tree (counting shared subtrees once
+    /// per occurrence, like [`Tree::node_count`]).
+    pub fn node_count(&self, t: TreeId) -> usize {
+        match self.node(t) {
+            TNode::Done | TNode::Stm(_) => 1,
+            TNode::Seq(a, b) | TNode::Par(a, b) => 1 + self.node_count(a) + self.node_count(b),
+        }
+    }
+
+    // -- arrays -------------------------------------------------------------
+
+    /// Interns an array-state cell vector.
+    pub fn intern_array(&self, cells: Vec<i64>) -> ArrayId {
+        let mut map = lock(&self.array_map[shard_of(&cells)]);
+        if let Some(&id) = map.get(&cells) {
+            return ArrayId(id);
+        }
+        let id = self.array_next.fetch_add(1, Ordering::Relaxed);
+        assert!(id < MAX_IDS, "array interner capacity exceeded");
+        self.array_vals.set(id, cells.clone());
+        map.insert(cells, id);
+        ArrayId(id)
+    }
+
+    /// The interned array's cells.
+    pub fn cells(&self, id: ArrayId) -> &[i64] {
+        self.array_vals.get(id.0)
+    }
+
+    // -- semantics ----------------------------------------------------------
+
+    /// Enumerates all `(A', T')` with `(p, A, T) → (p, A', T')` over
+    /// interned ids — rules (1)–(14), mirroring
+    /// [`crate::step::successors`] but with structural sharing instead of
+    /// deep clones (and canonical `∥` re-assembly when the interner is
+    /// canonical).
+    pub fn successors(&self, p: &Program, a: ArrayId, t: TreeId, out: &mut Vec<(ArrayId, TreeId)>) {
+        match self.node(t) {
+            TNode::Done => {}
+            TNode::Seq(t1, t2) => {
+                if t1 == DONE {
+                    // Rule (1): √ ▷ T₂ → T₂.
+                    out.push((a, t2));
+                } else {
+                    // Rule (2): step inside T₁.
+                    let mut inner = Vec::new();
+                    self.successors(p, a, t1, &mut inner);
+                    for (sa, st) in inner {
+                        out.push((sa, self.seq(st, t2)));
+                    }
+                }
+            }
+            TNode::Par(t1, t2) => {
+                // Rules (3)/(4): eliminate a finished side.
+                if t1 == DONE {
+                    out.push((a, t2));
+                }
+                if t2 == DONE {
+                    out.push((a, t1));
+                }
+                // Rule (5): step inside T₁.
+                let mut inner = Vec::new();
+                self.successors(p, a, t1, &mut inner);
+                for (sa, st) in inner {
+                    out.push((sa, self.par(st, t2)));
+                }
+                // Rule (6): step inside T₂.
+                inner = Vec::new();
+                self.successors(p, a, t2, &mut inner);
+                for (sa, st) in inner {
+                    out.push((sa, self.par(t1, st)));
+                }
+            }
+            TNode::Stm(s) => out.push(self.step_stmt(p, a, s)),
+        }
+    }
+
+    /// Rules (7)–(14): the unique step of `⟨s⟩`, mirroring
+    /// [`crate::step::step_stmt`]. Derived statements (while-unroll,
+    /// call-inline, spawned bodies) are memoized so each concatenation is
+    /// built and hashed once per distinct source statement.
+    fn step_stmt(&self, p: &Program, a: ArrayId, s: StmtId) -> (ArrayId, TreeId) {
+        let stmt = self.stmt(s);
+        let head = stmt.head();
+        let cont = match self.stmt_tail(s) {
+            Some(k) => self.stm(k),
+            None => DONE,
+        };
+        match &head.kind {
+            InstrKind::Skip => (a, cont),
+            InstrKind::Assign { idx, expr } => {
+                let cells = self.cells(a);
+                let v = crate::state::eval_cells(cells, expr);
+                let mut next = cells.to_vec();
+                next[*idx] = v;
+                (self.intern_array(next), cont)
+            }
+            InstrKind::While { idx, body } => {
+                if self.cells(a)[*idx] == 0 {
+                    (a, cont)
+                } else {
+                    // ⟨s_body . s⟩: memoized by the source statement id.
+                    let unrolled = self.derived_stmt(s, || body.clone().seq(self.stmt(s).clone()));
+                    (a, self.stm(unrolled))
+                }
+            }
+            InstrKind::Async { body } => {
+                let spawned = self.spawned_stmt(head.label, body);
+                (a, self.par(self.stm(spawned), cont))
+            }
+            InstrKind::Finish { body } => {
+                let spawned = self.spawned_stmt(head.label, body);
+                (a, self.seq(self.stm(spawned), cont))
+            }
+            InstrKind::Call { callee } => {
+                let unrolled = self.derived_stmt(s, || {
+                    let body = p.body(*callee).clone();
+                    match self.stmt(s).tail() {
+                        Some(k) => body.seq(k),
+                        None => body,
+                    }
+                });
+                (a, self.stm(unrolled))
+            }
+        }
+    }
+
+    fn derived_stmt(&self, from: StmtId, build: impl FnOnce() -> Stmt) -> StmtId {
+        if let Some(&id) = lock(&self.unroll_cache[from.0 as usize % SHARDS]).get(&from.0) {
+            return StmtId(id);
+        }
+        let id = self.intern_stmt(&build());
+        lock(&self.unroll_cache[from.0 as usize % SHARDS]).insert(from.0, id.0);
+        id
+    }
+
+    fn spawned_stmt(&self, label: Label, body: &Stmt) -> StmtId {
+        if let Some(&id) = lock(&self.spawn_cache[shard_of(&label)]).get(&label) {
+            return StmtId(id);
+        }
+        let id = self.intern_stmt(body);
+        lock(&self.spawn_cache[shard_of(&label)]).insert(label, id.0);
+        id
+    }
+
+    // -- parallel(T) --------------------------------------------------------
+
+    /// `∪ parallel(T)` over a set of distinct interned trees, with
+    /// `FTlabels` memoized per tree id and already-crossed subtrees
+    /// skipped — the interned counterpart of folding
+    /// [`crate::parallel::parallel`] over visited states.
+    pub fn parallel_of_trees(
+        &self,
+        trees: impl IntoIterator<Item = TreeId>,
+    ) -> BTreeSet<LabelPair> {
+        let mut out = BTreeSet::new();
+        let mut ft: HashMap<TreeId, Rc<BTreeSet<Label>>> = HashMap::new();
+        let mut seen: HashSet<TreeId> = HashSet::new();
+        for t in trees {
+            self.collect_parallel(t, &mut ft, &mut seen, &mut out);
+        }
+        out
+    }
+
+    fn collect_parallel(
+        &self,
+        t: TreeId,
+        ft: &mut HashMap<TreeId, Rc<BTreeSet<Label>>>,
+        seen: &mut HashSet<TreeId>,
+        out: &mut BTreeSet<LabelPair>,
+    ) {
+        if !seen.insert(t) {
+            return;
+        }
+        match self.node(t) {
+            TNode::Done | TNode::Stm(_) => {}
+            // parallel(T₁ ▷ T₂) = parallel(T₁).
+            TNode::Seq(t1, _) => self.collect_parallel(t1, ft, seen, out),
+            TNode::Par(t1, t2) => {
+                self.collect_parallel(t1, ft, seen, out);
+                self.collect_parallel(t2, ft, seen, out);
+                let l1 = self.ftlabels_memo(t1, ft);
+                let l2 = self.ftlabels_memo(t2, ft);
+                for &a in l1.iter() {
+                    for &b in l2.iter() {
+                        out.insert(pair(a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `FTlabels(T)` memoized by tree id (equations 33–36).
+    fn ftlabels_memo(
+        &self,
+        t: TreeId,
+        memo: &mut HashMap<TreeId, Rc<BTreeSet<Label>>>,
+    ) -> Rc<BTreeSet<Label>> {
+        if let Some(s) = memo.get(&t) {
+            return Rc::clone(s);
+        }
+        let set = match self.node(t) {
+            TNode::Done => BTreeSet::new(),
+            TNode::Stm(s) => {
+                let mut one = BTreeSet::new();
+                one.insert(self.stmt(s).head().label);
+                one
+            }
+            // FTlabels(T₁ ▷ T₂) = FTlabels(T₁): the right side is blocked.
+            TNode::Seq(t1, _) => (*self.ftlabels_memo(t1, memo)).clone(),
+            TNode::Par(t1, t2) => {
+                let mut l = (*self.ftlabels_memo(t1, memo)).clone();
+                l.extend(self.ftlabels_memo(t2, memo).iter().copied());
+                l
+            }
+        };
+        let rc = Rc::new(set);
+        memo.insert(t, Rc::clone(&rc));
+        rc
+    }
+
+    /// Renders an interned state exactly like the cloned explorer renders
+    /// the corresponding canonical [`Tree`] state — the byte-comparable
+    /// digest used by the differential oracle.
+    pub fn render_state(&self, a: ArrayId, t: TreeId) -> String {
+        format!("{:?} ⊢ {}", self.cells(a), self.to_tree(t))
+    }
+
+    /// Interner occupancy, for diagnostics: (statements, trees, arrays).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.stmt_next.load(Ordering::Relaxed) as usize,
+            self.tree_next.load(Ordering::Relaxed) as usize,
+            self.array_next.load(Ordering::Relaxed) as usize,
+        )
+    }
+}
+
+impl std::fmt::Debug for Interner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (s, t, a) = self.counts();
+        f.debug_struct("Interner")
+            .field("canonical", &self.canonical)
+            .field("stmts", &s)
+            .field("trees", &t)
+            .field("arrays", &a)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ArrayState;
+    use crate::step::{initial_tree, successors};
+    use fx10_syntax::Program;
+
+    fn main_stmt(p: &Program) -> Stmt {
+        p.body(p.main()).clone()
+    }
+
+    #[test]
+    fn hash_consing_dedups_structurally_equal_trees() {
+        let p = Program::parse("def main() { S1; S2; }").unwrap();
+        let it = Interner::new(true);
+        let s = it.intern_stmt(&main_stmt(&p));
+        let a = it.par(it.stm(s), DONE);
+        let b = it.par(DONE, it.stm(s));
+        assert_eq!(a, b, "canonical ∥ identifies the symmetric pair");
+        assert_eq!(it.seq(a, DONE), it.seq(b, DONE));
+        let lit = Interner::new(false);
+        let s2 = lit.intern_stmt(&main_stmt(&p));
+        assert_ne!(
+            lit.par(lit.stm(s2), DONE),
+            lit.par(DONE, lit.stm(s2)),
+            "literal mode keeps both orientations"
+        );
+    }
+
+    #[test]
+    fn stmt_suffixes_share_ids_with_their_standalone_equals() {
+        let p = Program::parse("def main() { S1; S2; S3; }").unwrap();
+        let it = Interner::new(true);
+        let whole = it.intern_stmt(&main_stmt(&p));
+        let tail = it.stmt_tail(whole).unwrap();
+        // Interning the structurally-equal suffix hits the same id.
+        assert_eq!(it.intern_stmt(&main_stmt(&p).tail().unwrap()), tail);
+        let last = it.stmt_tail(tail).unwrap();
+        assert_eq!(it.stmt_tail(last), None);
+        assert_eq!(it.stmt(last).len(), 1);
+    }
+
+    #[test]
+    fn structural_cmp_mirrors_derived_tree_ord() {
+        let p = Program::parse("def main() { S1; S2; }").unwrap();
+        let it = Interner::new(false);
+        let s = main_stmt(&p);
+        let trees = [
+            Tree::Done,
+            Tree::stm(s.clone()),
+            Tree::stm(s.tail().unwrap()),
+            Tree::seq(Tree::Done, Tree::stm(s.clone())),
+            Tree::par(Tree::stm(s.clone()), Tree::Done),
+            Tree::par(Tree::Done, Tree::stm(s.clone())),
+        ];
+        for x in &trees {
+            for y in &trees {
+                let (ix, iy) = (it.intern_tree(x), it.intern_tree(y));
+                assert_eq!(
+                    it.structural_cmp(ix, iy),
+                    x.cmp(y),
+                    "order mismatch on {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interned_successors_match_cloned_successors_modulo_canonical() {
+        for src in [
+            "def main() { async { B; } K; }",
+            "def main() { finish { async { B; } } K; }",
+            "def f() { X; } def main() { f(); K; }",
+            "def main() { a[0] = 1; while (a[0] != 0) { a[0] = 0; } K; }",
+        ] {
+            let p = Program::parse(src).unwrap();
+            let it = Interner::new(true);
+            // Walk a few steps comparing both representations.
+            let mut frontier = vec![(ArrayState::zeros(&p), initial_tree(&p))];
+            let mut steps = 0;
+            while let Some((arr, tree)) = frontier.pop() {
+                if steps > 200 {
+                    break;
+                }
+                steps += 1;
+                let aid = it.intern_array(arr.cells().to_vec());
+                let tid = it.intern_tree(&tree);
+                let mut got = Vec::new();
+                it.successors(&p, aid, tid, &mut got);
+                let want = successors(&p, &arr, &tree);
+                assert_eq!(got.len(), want.len(), "{src}");
+                for (w, (ga, gt)) in want.iter().zip(&got) {
+                    assert_eq!(it.cells(*ga), w.array.cells(), "{src}");
+                    assert_eq!(
+                        *gt,
+                        it.intern_tree(&w.tree.clone().canonical()),
+                        "{src}: successor tree mismatch"
+                    );
+                }
+                for s in want {
+                    frontier.push((s.array, s.tree));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_of_trees_matches_cloned_parallel() {
+        use crate::parallel::parallel;
+        let p = Program::parse("def main() { async { B; } async { C; } K; }").unwrap();
+        let it = Interner::new(true);
+        let s = main_stmt(&p);
+        let t = Tree::par(
+            Tree::stm(s.clone()),
+            Tree::par(Tree::stm(s.tail().unwrap()), Tree::stm(s)),
+        )
+        .canonical();
+        let id = it.intern_tree(&t);
+        assert_eq!(it.parallel_of_trees([id]), parallel(&t));
+    }
+
+    #[test]
+    fn normalized_matches_cloned_normalized() {
+        let p = Program::parse("def main() { S1; }").unwrap();
+        let it = Interner::new(true);
+        let s = main_stmt(&p);
+        let messy = Tree::par(
+            Tree::seq(Tree::Done, Tree::stm(s.clone())),
+            Tree::par(Tree::Done, Tree::stm(s)),
+        );
+        let id = it.intern_tree(&messy);
+        assert_eq!(
+            it.normalized(id),
+            it.intern_tree(&messy.clone().normalized().canonical())
+        );
+        assert_eq!(it.normalized(DONE), DONE);
+    }
+
+    #[test]
+    fn render_matches_cloned_display() {
+        let p = Program::parse("def main() { S1; S2; }").unwrap();
+        let it = Interner::new(true);
+        let t = Tree::par(Tree::stm(main_stmt(&p)), Tree::Done).canonical();
+        let id = it.intern_tree(&t);
+        let aid = it.intern_array(vec![0]);
+        assert_eq!(it.render_state(aid, id), format!("{:?} ⊢ {}", [0i64], t));
+    }
+
+    #[test]
+    fn state_key_roundtrips() {
+        let k = state_key(ArrayId(7), TreeId(42));
+        assert_eq!(state_parts(k), (ArrayId(7), TreeId(42)));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let p = Program::parse("def main() { async { B; } async { C; } K; }").unwrap();
+        let it = Interner::new(true);
+        let s = main_stmt(&p);
+        let ids: Vec<TreeId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (it, s) = (&it, &s);
+                    scope.spawn(move || {
+                        let sid = it.intern_stmt(s);
+                        it.par(it.stm(sid), it.seq(it.stm(sid), DONE))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

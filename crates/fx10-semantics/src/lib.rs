@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 pub mod explore;
+pub mod intern;
 pub mod interp;
 pub mod parallel;
 pub mod state;
@@ -33,9 +34,10 @@ pub mod step;
 pub mod tree;
 
 pub use explore::{
-    explore, explore_budgeted, explore_parallel, explore_parallel_budgeted, Exploration,
-    ExploreConfig,
+    explore, explore_budgeted, explore_interned_budgeted, explore_parallel,
+    explore_parallel_budgeted, Exploration, ExploreConfig,
 };
+pub use intern::{ArrayId, Interner, StmtId, TreeId};
 pub use interp::{run, run_budgeted, run_result, RunOutcome, Scheduler};
 pub use state::ArrayState;
 pub use tree::Tree;

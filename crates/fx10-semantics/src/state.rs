@@ -65,6 +65,17 @@ impl ArrayState {
     }
 }
 
+/// `A(e)` over a raw cell slice — the interned explorer stores array
+/// states as `&[i64]` and must evaluate without materializing an
+/// [`ArrayState`].
+#[inline]
+pub fn eval_cells(cells: &[i64], e: &Expr) -> i64 {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Plus1(d) => cells[*d].wrapping_add(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,11 @@ use fx10_syntax::Stmt;
 /// Internal nodes are `▷` ([`Tree::Seq`], from `finish`) or `∥`
 /// ([`Tree::Par`], from `async`); leaves are `√` ([`Tree::Done`]) or a
 /// running statement `⟨s⟩` ([`Tree::Stm`]).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The derived `Ord` is the *structural order* (`√ < ⟨s⟩ < ▷ < ∥`,
+/// then lexicographic on children): the total order under which
+/// [`Tree::canonical`] sorts `∥` children. The interned explorer mirrors
+/// exactly this order, so canonical forms agree across representations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Tree {
     /// `√` — a completed computation.
     Done,
@@ -70,6 +74,32 @@ impl Tree {
                 (Tree::Done, t) | (t, Tree::Done) => t,
                 (a, b) => Tree::par(a, b),
             },
+        }
+    }
+
+    /// The canonical representative of the tree's `∥`-symmetry class:
+    /// every `Par` node's children are recursively put in structural
+    /// order (the derived `Ord`).
+    ///
+    /// Swapping the children of a `∥` is a bisimulation of the semantics
+    /// — `parallel`/`FTlabels` are computed symmetrically (unordered
+    /// pairs) and the successors of `T₂ ∥ T₁` are exactly the swaps of
+    /// the successors of `T₁ ∥ T₂` with identical array states — so
+    /// exploring canonical representatives visits the same MHP pairs,
+    /// terminals and deadlock verdict over a (often much) smaller state
+    /// space. `▷` is *not* commutative and is left untouched.
+    pub fn canonical(self) -> Tree {
+        match self {
+            Tree::Done | Tree::Stm(_) => self,
+            Tree::Seq(a, b) => Tree::seq(a.canonical(), b.canonical()),
+            Tree::Par(a, b) => {
+                let (a, b) = (a.canonical(), b.canonical());
+                if a <= b {
+                    Tree::par(a, b)
+                } else {
+                    Tree::par(b, a)
+                }
+            }
         }
     }
 

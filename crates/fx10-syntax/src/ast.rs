@@ -17,7 +17,7 @@ impl FuncId {
 }
 
 /// The right-hand side of an assignment: `e ::= c | a[d] + 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Expr {
     /// A natural-number constant `c`.
     Const(i64),
@@ -26,7 +26,12 @@ pub enum Expr {
 }
 
 /// One labeled instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The derived order (label first, then kind) gives statements and
+/// execution trees a total *structural* order — the basis of the
+/// schedule-independent canonical forms used by the explorer's
+/// `∥`-symmetry deduplication.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Instr {
     /// The instruction's label (dense, program-unique).
     pub label: Label,
@@ -35,7 +40,7 @@ pub struct Instr {
 }
 
 /// The six instruction forms of FX10.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum InstrKind {
     /// `skip^l`.
     Skip,
@@ -84,7 +89,7 @@ impl InstrKind {
 
 /// A statement: a non-empty sequence of labeled instructions
 /// (`s ::= i | i s`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Stmt {
     instrs: Vec<Instr>,
 }

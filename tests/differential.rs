@@ -1,0 +1,337 @@
+//! The differential-testing oracle for the work-stealing interned
+//! explorer.
+//!
+//! The sequential cloned-tree breadth-first search
+//! ([`explore_budgeted`]) is the trusted reference. Everything the
+//! parallel engine computes — the canonical reachable-state set (as
+//! byte-comparable digests), the dynamic `parallel(T)` pair union, the
+//! deadlock-freedom verdict, terminal and visited counts — must be
+//! *identical* for every worker count, every steal schedule, and both
+//! state representations (cloned trees vs hash-consed ids). Randomized
+//! programs from `fx10_suite` drive the comparison beyond the fixtures.
+//!
+//! Also here: the adversarial-schedule and injected-panic behaviour of
+//! the parallel engine (typed errors, exit-code 4, no hangs), the shared
+//! state-budget contract (`budget + at most one batch per worker`,
+//! tagged INCONCLUSIVE), and the regression pins for the canonical
+//! `∥`-symmetry deduplication on the `programs/*.fx10` fixtures.
+
+use fx10::robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error, PanicFault};
+use fx10::semantics::{explore_budgeted, explore_parallel_budgeted, Exploration, ExploreConfig};
+use fx10::suite::{random_fx10, RandomConfig};
+use fx10::syntax::Program;
+use proptest::prelude::*;
+
+const JOBS: [usize; 3] = [1, 2, 8];
+
+fn digest_config() -> ExploreConfig {
+    ExploreConfig {
+        collect_states: true,
+        ..ExploreConfig::default()
+    }
+}
+
+fn reference(p: &Program, config: ExploreConfig) -> Exploration {
+    explore_budgeted(p, &[], config, Budget::unlimited(), &CancelToken::new())
+        .expect("reference explorer cannot fail without budget or cancel")
+}
+
+fn parallel(p: &Program, config: ExploreConfig, jobs: usize) -> Exploration {
+    explore_parallel_budgeted(
+        p,
+        &[],
+        config,
+        jobs,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        &FaultPlan::none(),
+    )
+    .expect("parallel explorer cannot fail without budget, cancel or faults")
+}
+
+/// Asserts every differentially-observable field matches the reference.
+fn assert_identical(label: &str, want: &Exploration, got: &Exploration) {
+    assert_eq!(want.state_digests, got.state_digests, "{label}: state sets");
+    assert_eq!(want.mhp, got.mhp, "{label}: parallel(T) pair union");
+    assert_eq!(want.deadlock_free, got.deadlock_free, "{label}: deadlock");
+    assert_eq!(want.visited, got.visited, "{label}: visited count");
+    assert_eq!(want.terminals, got.terminals, "{label}: terminal count");
+    assert_eq!(want.truncated, got.truncated, "{label}: truncation");
+}
+
+fn load(path: &str) -> Program {
+    let src = std::fs::read_to_string(path).expect(path);
+    Program::parse(&src).expect(path)
+}
+
+#[test]
+fn fixture_programs_agree_across_engines_and_worker_counts() {
+    for path in [
+        "programs/example22.fx10",
+        "programs/fork_join.fx10",
+        "programs/racey.fx10",
+    ] {
+        let p = load(path);
+        let want = reference(&p, digest_config());
+        assert!(!want.truncated, "{path}: fixture must fit the budget");
+        for jobs in JOBS {
+            let got = parallel(&p, digest_config(), jobs);
+            assert_identical(&format!("{path} jobs={jobs}"), &want, &got);
+        }
+    }
+}
+
+#[test]
+fn normalized_fixtures_agree_too() {
+    // The admin-normalizing configuration exercises the interner's
+    // `normalized` path.
+    let config = ExploreConfig {
+        normalize_admin: true,
+        ..digest_config()
+    };
+    for path in ["programs/example22.fx10", "programs/fork_join.fx10"] {
+        let p = load(path);
+        let want = reference(&p, config);
+        for jobs in JOBS {
+            let got = parallel(&p, config, jobs);
+            assert_identical(&format!("{path} normalized jobs={jobs}"), &want, &got);
+        }
+    }
+}
+
+/// Regression pins for the canonical `∥`-symmetry deduplication (the
+/// frontier used to re-visit `T₁ ∥ T₂` and `T₂ ∥ T₁` as distinct
+/// states). The literal space must not be smaller, and the canonical
+/// counts are pinned exactly so an accidental dedup regression fails
+/// loudly.
+#[test]
+fn canonical_dedup_visited_counts_are_pinned_for_fixtures() {
+    let pins = [
+        ("programs/example22.fx10", 37usize, 5usize, 1usize),
+        ("programs/fork_join.fx10", 141, 15, 1),
+        ("programs/racey.fx10", 10, 1, 2),
+    ];
+    for (path, visited, pairs, terminals) in pins {
+        let p = load(path);
+        let canon = reference(&p, ExploreConfig::default());
+        assert_eq!(canon.visited, visited, "{path}: canonical visited");
+        assert_eq!(canon.mhp.len(), pairs, "{path}: pair count");
+        assert_eq!(canon.terminals, terminals, "{path}: terminals");
+
+        let literal = reference(
+            &p,
+            ExploreConfig {
+                canonical_dedup: false,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(
+            literal.visited >= canon.visited,
+            "{path}: canonicalization grew the space"
+        );
+        assert_eq!(literal.mhp, canon.mhp, "{path}: MHP must be invariant");
+        assert_eq!(literal.terminals, canon.terminals, "{path}: terminals");
+    }
+}
+
+#[test]
+fn adversarial_schedules_are_semantically_invisible_to_the_oracle() {
+    for path in ["programs/example22.fx10", "programs/fork_join.fx10"] {
+        let p = load(path);
+        let want = reference(&p, digest_config());
+        for jobs in JOBS {
+            let got = explore_parallel_budgeted(
+                &p,
+                &[],
+                digest_config(),
+                jobs,
+                Budget::unlimited(),
+                &CancelToken::new(),
+                &FaultPlan {
+                    adversarial_schedule: true,
+                    ..FaultPlan::none()
+                },
+            )
+            .unwrap();
+            assert_identical(&format!("{path} adversarial jobs={jobs}"), &want, &got);
+        }
+    }
+}
+
+fn explore_with_panic_fault(
+    p: &Program,
+    jobs: usize,
+    victim: usize,
+    adversarial: bool,
+) -> Result<Exploration, Fx10Error> {
+    explore_parallel_budgeted(
+        p,
+        &[],
+        ExploreConfig::default(),
+        jobs,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        &FaultPlan {
+            panic_worker: Some(PanicFault {
+                worker: victim,
+                after_states: 1,
+            }),
+            adversarial_schedule: adversarial,
+            ..FaultPlan::none()
+        },
+    )
+}
+
+fn assert_panicked_as(victim: usize, err: Fx10Error) {
+    assert_eq!(err.exit_code(), 4, "victim={victim}");
+    match err {
+        Fx10Error::WorkerPanicked { worker, message } => {
+            assert_eq!(worker, victim);
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_panics_surface_as_typed_errors_with_exit_code_4() {
+    let p = load("programs/fork_join.fx10");
+
+    // jobs = 1 is fully deterministic: the only worker must process the
+    // seed state, so the fault always fires.
+    assert_panicked_as(0, explore_with_panic_fault(&p, 1, 0, false).unwrap_err());
+
+    // With a crew, the victim can benignly lose the race for work (the
+    // other workers drain the space first); an Ok result is then a
+    // complete exploration. Retry until the fault lands — the contract
+    // under test is that when it does, it surfaces as a typed error with
+    // exit code 4, never a hang or an abort.
+    for (jobs, victim, adversarial) in [(2usize, 1usize, false), (4, 2, true), (8, 0, false)] {
+        let mut fired = false;
+        for _ in 0..50 {
+            match explore_with_panic_fault(&p, jobs, victim, adversarial) {
+                Err(err) => {
+                    assert_panicked_as(victim, err);
+                    fired = true;
+                    break;
+                }
+                Ok(e) => assert!(e.deadlock_free, "starved-victim run must be complete"),
+            }
+        }
+        assert!(
+            fired,
+            "fault never landed in 50 runs (jobs={jobs} victim={victim})"
+        );
+    }
+}
+
+#[test]
+fn shared_state_budget_bounds_the_crew_within_one_batch_per_worker() {
+    // fork_join has 141 canonical states; a budget of 40 must truncate
+    // for every worker count, never overshoot by more than one
+    // reservation batch (1 state) per worker, and report INCONCLUSIVE
+    // provenance (the CLI maps it to exit 3).
+    let p = load("programs/fork_join.fx10");
+    let budget_states = 40usize;
+    for jobs in JOBS {
+        let e = explore_parallel_budgeted(
+            &p,
+            &[],
+            ExploreConfig::default(),
+            jobs,
+            Budget::unlimited().with_max_states(budget_states),
+            &CancelToken::new(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert!(e.truncated, "jobs={jobs}");
+        assert_eq!(e.exhausted, Some(Exhaustion::States), "jobs={jobs}");
+        assert!(
+            e.visited <= budget_states + jobs,
+            "jobs={jobs}: visited {} > budget {budget_states} + one batch per worker",
+            e.visited
+        );
+        assert!(
+            e.visited >= budget_states.min(20),
+            "jobs={jobs}: suspiciously small prefix {}",
+            e.visited
+        );
+    }
+}
+
+fn rand_cfg(seed: u64, methods: usize, stmts: usize, depth: usize) -> RandomConfig {
+    RandomConfig {
+        methods,
+        stmts_per_method: stmts,
+        max_depth: depth,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite 1: random programs explored with jobs = 1 and jobs = N,
+    /// interned and cloned, yield byte-identical canonical state sets
+    /// and identical MHP-soundness verdicts.
+    #[test]
+    fn random_programs_agree_across_jobs_and_representations(
+        seed in 0u64..10_000,
+        methods in 1usize..4,
+        stmts in 1usize..5,
+        depth in 0usize..3,
+        jobs_idx in 0usize..3,
+    ) {
+        let p = random_fx10(rand_cfg(seed, methods, stmts, depth));
+        let config = ExploreConfig {
+            max_states: 20_000,
+            ..digest_config()
+        };
+        let cloned = reference(&p, config);
+        prop_assume!(!cloned.truncated);
+
+        let one = parallel(&p, config, 1);
+        let many = parallel(&p, config, JOBS[jobs_idx]);
+        for (label, got) in [("jobs=1", &one), ("jobs=N", &many)] {
+            prop_assert_eq!(&cloned.state_digests, &got.state_digests, "{}", label);
+            prop_assert_eq!(&cloned.mhp, &got.mhp, "{}", label);
+            prop_assert_eq!(cloned.visited, got.visited, "{}", label);
+            prop_assert_eq!(cloned.terminals, got.terminals, "{}", label);
+            prop_assert_eq!(cloned.deadlock_free, got.deadlock_free, "{}", label);
+        }
+
+        // Identical MHP-soundness verdicts: the static analysis covers
+        // the dynamic pairs of every engine or none.
+        let a = fx10::analysis::analyze(&p);
+        let verdict_ref = a.check_soundness(cloned.mhp.iter()).is_sound();
+        let verdict_par = a.check_soundness(many.mhp.iter()).is_sound();
+        prop_assert_eq!(verdict_ref, verdict_par);
+        prop_assert!(verdict_ref, "Theorem 2 must hold on the ground truth");
+    }
+
+    /// Canonical dedup on random programs: verdict-preserving, never
+    /// space-growing (interned parallel engine at canonical vs literal).
+    #[test]
+    fn canonical_dedup_is_verdict_preserving_on_random_programs(
+        seed in 0u64..10_000,
+        stmts in 1usize..5,
+        depth in 0usize..3,
+    ) {
+        let p = random_fx10(rand_cfg(seed, 2, stmts, depth));
+        let literal = parallel(
+            &p,
+            ExploreConfig { max_states: 20_000, canonical_dedup: false, ..ExploreConfig::default() },
+            2,
+        );
+        prop_assume!(!literal.truncated);
+        let canon = parallel(
+            &p,
+            ExploreConfig { max_states: 20_000, ..ExploreConfig::default() },
+            2,
+        );
+        prop_assert_eq!(&literal.mhp, &canon.mhp);
+        prop_assert_eq!(literal.deadlock_free, canon.deadlock_free);
+        prop_assert_eq!(literal.terminals, canon.terminals);
+        prop_assert!(canon.visited <= literal.visited);
+    }
+}

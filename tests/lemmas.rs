@@ -132,6 +132,7 @@ proptest! {
             ExploreConfig {
                 max_states: 20_000,
                 normalize_admin: true,
+                ..ExploreConfig::default()
             },
         );
         if !lit.truncated && !norm.truncated {

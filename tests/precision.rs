@@ -35,6 +35,7 @@ proptest! {
             ExploreConfig {
                 max_states: 50_000,
                 normalize_admin: true,
+                ..ExploreConfig::default()
             },
         );
         prop_assume!(!e.truncated);
