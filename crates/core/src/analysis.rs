@@ -398,6 +398,363 @@ impl SoundnessReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The supervised degradation ladder
+// ---------------------------------------------------------------------------
+
+/// Which rung of the [`Supervisor`]'s degradation ladder produced the
+/// final answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// The multi-threaded durable explorer finished: the answer is the
+    /// *exact* dynamic MHP relation.
+    ParallelExplore,
+    /// The parallel explorer kept failing (stalls, panics); the
+    /// single-threaded explorer answered instead — still exact, just
+    /// slower.
+    SequentialExplore,
+    /// Dynamic exploration was infeasible within the budget; the
+    /// context-sensitive static analysis answered with a sound
+    /// over-approximation (Theorem 2/3).
+    ContextSensitive,
+    /// Even the CS analysis exhausted its budget; the context-insensitive
+    /// baseline (§7) answered — the coarsest sound rung, never refused.
+    ContextInsensitive,
+}
+
+impl std::fmt::Display for LadderRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LadderRung::ParallelExplore => write!(f, "parallel-explore"),
+            LadderRung::SequentialExplore => write!(f, "sequential-explore"),
+            LadderRung::ContextSensitive => write!(f, "context-sensitive"),
+            LadderRung::ContextInsensitive => write!(f, "context-insensitive"),
+        }
+    }
+}
+
+impl LadderRung {
+    /// True for the rungs whose MHP set is the exact dynamic relation
+    /// (the static rungs only over-approximate it).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(
+            self,
+            LadderRung::ParallelExplore | LadderRung::SequentialExplore
+        )
+    }
+}
+
+/// The result of a supervised run: the MHP answer plus the provenance
+/// needed to interpret it.
+#[derive(Debug, Clone)]
+pub struct SupervisedAnswer {
+    /// The rung that produced [`pairs`](SupervisedAnswer::pairs).
+    pub rung: LadderRung,
+    /// Human-readable log of every descent, retry and backoff the
+    /// supervisor performed, in order.
+    pub trace: Vec<String>,
+    /// The MHP pairs of the answering rung, each normalized to
+    /// `(min, max)` label order. Exact when
+    /// [`rung.is_dynamic()`](LadderRung::is_dynamic), a sound
+    /// over-approximation otherwise.
+    pub pairs: std::collections::BTreeSet<(Label, Label)>,
+    /// Theorem 1's deadlock-freedom verdict — only the dynamic rungs
+    /// observe it, so it is `None` on the static rungs.
+    pub deadlock_free: Option<bool>,
+    /// What (if anything) exhausted the answering rung's budget. Only the
+    /// final rung may answer while exhausted; every other rung descends
+    /// instead.
+    pub exhausted: Option<Exhaustion>,
+}
+
+/// xorshift64 — a tiny, dependency-free PRNG for backoff jitter. Not for
+/// anything security- or statistics-sensitive.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        // xorshift has a single absorbing state at zero; avoid it.
+        XorShift64(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Decorrelated-jitter backoff: uniform in `[base, 3 · prev]`,
+    /// clamped to `cap`. Successive sleeps are decorrelated (each draws
+    /// from a window anchored at the *previous* sleep), which avoids the
+    /// retry-herd synchronization plain exponential backoff suffers from.
+    fn backoff(
+        &mut self,
+        base: std::time::Duration,
+        prev: std::time::Duration,
+        cap: std::time::Duration,
+    ) -> std::time::Duration {
+        let lo = base.as_micros() as u64;
+        let hi = (prev.as_micros() as u64).saturating_mul(3).max(lo);
+        let pick = if hi > lo {
+            lo + self.next_u64() % (hi - lo + 1)
+        } else {
+            lo
+        };
+        std::time::Duration::from_micros(pick).min(cap)
+    }
+}
+
+/// The supervised degradation ladder (the "if it crashes, answer anyway"
+/// driver):
+///
+/// 1. **parallel-explore** — the durable multi-threaded explorer with a
+///    heartbeat watchdog; on stall or panic, bounded retries with
+///    decorrelated-jitter backoff and a halved crew, resuming from the
+///    last durable checkpoint when one is on disk;
+/// 2. **sequential-explore** — the single-threaded oracle, immune to the
+///    crew's failure modes, run under `catch_unwind`;
+/// 3. **context-sensitive** — the paper's static analysis (sound
+///    over-approximation, Theorem 2/3);
+/// 4. **context-insensitive** — the §7 baseline; the last rung answers
+///    even when exhausted.
+///
+/// Truncation on a dynamic rung descends straight to the static rungs (a
+/// truncated dynamic MHP set is only a lower bound, while the static
+/// answer is a sound upper bound). Cancellation always propagates —
+/// the user asked to stop, the ladder must not "help".
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    /// Crew size for the first parallel-explore attempt (halved on each
+    /// retry, floor 1).
+    pub jobs: usize,
+    /// How many times to retry the parallel rung after the first failure.
+    pub max_retries: usize,
+    /// Lower bound of every backoff sleep.
+    pub base_backoff: std::time::Duration,
+    /// Upper clamp of every backoff sleep.
+    pub max_backoff: std::time::Duration,
+    /// Heartbeat-frozen duration after which the watchdog declares a
+    /// worker stalled.
+    pub stall_after: std::time::Duration,
+    /// Watchdog poll interval.
+    pub poll: std::time::Duration,
+    /// Budget applied to every rung (the deadline is absolute, so it is
+    /// naturally shared across the whole ladder).
+    pub budget: Budget,
+    /// Exploration configuration for the dynamic rungs.
+    pub explore_config: fx10_semantics::ExploreConfig,
+    /// Solver for the static rungs.
+    pub solver: SolverKind,
+    /// Durable-checkpoint spec for the parallel rung; also the file
+    /// retries resume from. `None` disables both.
+    pub checkpoint: Option<fx10_semantics::CheckpointSpec>,
+    /// Seed for the backoff jitter (any value; zero is remapped).
+    pub backoff_seed: u64,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor {
+            jobs: 4,
+            max_retries: 2,
+            base_backoff: std::time::Duration::from_millis(25),
+            max_backoff: std::time::Duration::from_millis(250),
+            stall_after: std::time::Duration::from_secs(10),
+            poll: std::time::Duration::from_millis(50),
+            budget: Budget::unlimited(),
+            explore_config: fx10_semantics::ExploreConfig::default(),
+            solver: SolverKind::Worklist,
+            checkpoint: None,
+            backoff_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl Supervisor {
+    /// Runs the ladder on `p` with shared-array `input`, descending until
+    /// some rung answers. `faults` is handed to every parallel-explore
+    /// attempt (the injection harness uses this to force descents); the
+    /// lower rungs never see it.
+    pub fn run(
+        &self,
+        p: &Program,
+        input: &[i64],
+        cancel: &CancelToken,
+        faults: &FaultPlan,
+    ) -> Result<SupervisedAnswer, Fx10Error> {
+        let mut trace = Vec::new();
+        let mut rng = XorShift64::new(self.backoff_seed);
+        let mut jobs = self.jobs.max(1);
+        let mut prev_backoff = self.base_backoff;
+        let watchdog = fx10_semantics::WatchdogSpec {
+            stall_after: self.stall_after,
+            poll: self.poll,
+        };
+
+        for attempt in 0..=self.max_retries {
+            cancel.check()?;
+            // On a retry, resume from the durable checkpoint if one is on
+            // disk and actually belongs to this program and configuration.
+            let resume = if attempt > 0 {
+                self.checkpoint.as_ref().and_then(|spec| {
+                    let snap = fx10_semantics::ExplorerSnapshot::load(&spec.path).ok()?;
+                    let want = fx10_semantics::snapshot_fingerprint(p, input, &self.explore_config);
+                    (snap.fingerprint == want).then_some(snap)
+                })
+            } else {
+                None
+            };
+            if resume.is_some() {
+                trace.push(format!(
+                    "parallel-explore attempt {}: resuming from the durable checkpoint",
+                    attempt + 1
+                ));
+            }
+            let durability = fx10_semantics::Durability {
+                checkpoint: self.checkpoint.clone(),
+                resume: resume.as_ref(),
+                watchdog: Some(watchdog),
+            };
+            match fx10_semantics::explore_parallel_durable(
+                p,
+                input,
+                self.explore_config,
+                jobs,
+                self.budget,
+                cancel,
+                faults,
+                durability,
+            ) {
+                Ok(e) if !e.truncated => {
+                    trace.push(format!(
+                        "parallel-explore answered on attempt {} with {jobs} jobs",
+                        attempt + 1
+                    ));
+                    return Ok(SupervisedAnswer {
+                        rung: LadderRung::ParallelExplore,
+                        trace,
+                        pairs: e.mhp,
+                        deadlock_free: Some(e.deadlock_free),
+                        exhausted: None,
+                    });
+                }
+                Ok(e) => {
+                    // A truncated dynamic answer is only a lower bound;
+                    // retrying with fewer jobs cannot help a budget, so
+                    // descend straight to the sound static rungs.
+                    let what = e
+                        .exhausted
+                        .map_or_else(|| "truncated".to_string(), |x| x.to_string());
+                    trace.push(format!(
+                        "parallel-explore truncated ({what}); descending to the static rungs"
+                    ));
+                    return self.static_rungs(p, cancel, trace);
+                }
+                Err(Fx10Error::Cancelled) => return Err(Fx10Error::Cancelled),
+                Err(e) => {
+                    trace.push(format!(
+                        "parallel-explore attempt {} with {jobs} jobs failed: {e}",
+                        attempt + 1
+                    ));
+                    if attempt < self.max_retries {
+                        let backoff =
+                            rng.backoff(self.base_backoff, prev_backoff, self.max_backoff);
+                        prev_backoff = backoff;
+                        jobs = (jobs / 2).max(1);
+                        trace.push(format!(
+                            "backing off {} ms, retrying with {jobs} jobs",
+                            backoff.as_millis()
+                        ));
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+
+        // Rung 2: the sequential oracle, shielded from its own panics.
+        trace.push("parallel-explore retries exhausted; descending to sequential-explore".into());
+        cancel.check()?;
+        let seq = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fx10_semantics::explore_budgeted(p, input, self.explore_config, self.budget, cancel)
+        }));
+        match seq {
+            Ok(Ok(e)) if !e.truncated => {
+                trace.push("sequential-explore answered".into());
+                return Ok(SupervisedAnswer {
+                    rung: LadderRung::SequentialExplore,
+                    trace,
+                    pairs: e.mhp,
+                    deadlock_free: Some(e.deadlock_free),
+                    exhausted: None,
+                });
+            }
+            Ok(Ok(e)) => {
+                let what = e
+                    .exhausted
+                    .map_or_else(|| "truncated".to_string(), |x| x.to_string());
+                trace.push(format!("sequential-explore truncated ({what}); descending"));
+            }
+            Ok(Err(Fx10Error::Cancelled)) => return Err(Fx10Error::Cancelled),
+            Ok(Err(e)) => trace.push(format!("sequential-explore failed: {e}; descending")),
+            Err(_) => trace.push("sequential-explore panicked; descending".into()),
+        }
+        self.static_rungs(p, cancel, trace)
+    }
+
+    /// Rungs 3 and 4: the static analyses. CS answers unless exhausted;
+    /// the CI baseline is the floor and answers unconditionally.
+    fn static_rungs(
+        &self,
+        p: &Program,
+        cancel: &CancelToken,
+        mut trace: Vec<String>,
+    ) -> Result<SupervisedAnswer, Fx10Error> {
+        let cs = analyze_with_budget(p, Mode::ContextSensitive, self.solver, self.budget, cancel)?;
+        if cs.exhausted.is_none() {
+            trace.push("context-sensitive analysis answered".into());
+            return Ok(SupervisedAnswer {
+                rung: LadderRung::ContextSensitive,
+                trace,
+                pairs: normalized_pairs(&cs),
+                deadlock_free: None,
+                exhausted: None,
+            });
+        }
+        trace.push(format!(
+            "context-sensitive analysis exhausted its {}; descending to context-insensitive",
+            cs.exhausted.expect("checked above")
+        ));
+        let ci = analyze_with_budget(
+            p,
+            Mode::ContextInsensitive { keep_scross: true },
+            self.solver,
+            self.budget,
+            cancel,
+        )?;
+        trace.push("context-insensitive baseline answered (last rung)".into());
+        Ok(SupervisedAnswer {
+            rung: LadderRung::ContextInsensitive,
+            trace,
+            pairs: normalized_pairs(&ci),
+            deadlock_free: None,
+            exhausted: ci.exhausted,
+        })
+    }
+}
+
+/// `M(main)` as a set of `(min, max)`-ordered pairs — the same
+/// normalization the explorer's dynamic MHP set uses, so the two compare
+/// directly.
+fn normalized_pairs(a: &Analysis) -> std::collections::BTreeSet<(Label, Label)> {
+    a.mhp()
+        .iter_pairs()
+        .map(|(x, y)| if x <= y { (x, y) } else { (y, x) })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +921,117 @@ mod tests {
         let s1 = p.labels().lookup("S1").unwrap();
         let s2 = p.labels().lookup("S2").unwrap();
         assert!(a.may_happen_in_parallel(s1, s2));
+    }
+
+    #[test]
+    fn ladder_answers_on_the_parallel_rung_when_nothing_fails() {
+        use fx10_semantics::{explore, ExploreConfig};
+        let p = examples::example_2_2();
+        let sup = Supervisor {
+            jobs: 2,
+            ..Supervisor::default()
+        };
+        let ans = sup
+            .run(&p, &[], &CancelToken::new(), &FaultPlan::none())
+            .expect("ladder never refuses on a healthy run");
+        assert_eq!(ans.rung, LadderRung::ParallelExplore);
+        assert!(ans.rung.is_dynamic());
+        assert_eq!(ans.deadlock_free, Some(true));
+        assert_eq!(ans.exhausted, None);
+        let reference = explore(&p, &[], ExploreConfig::default());
+        assert_eq!(ans.pairs, reference.mhp);
+        assert!(ans.trace.iter().any(|l| l.contains("answered")));
+    }
+
+    #[test]
+    fn ladder_descends_to_sequential_when_every_parallel_attempt_stalls() {
+        use fx10_robust::PanicFault;
+        use fx10_semantics::{explore, ExploreConfig};
+        let p = examples::example_2_1();
+        let sup = Supervisor {
+            jobs: 2,
+            max_retries: 1,
+            base_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(5),
+            stall_after: std::time::Duration::from_millis(150),
+            poll: std::time::Duration::from_millis(10),
+            ..Supervisor::default()
+        };
+        // Worker 0 wedges immediately on every attempt, so the watchdog
+        // fires, the retry wedges again, and the sequential rung answers.
+        let faults = FaultPlan {
+            wedge_worker: Some(PanicFault {
+                worker: 0,
+                after_states: 0,
+            }),
+            ..FaultPlan::none()
+        };
+        let ans = sup
+            .run(&p, &[], &CancelToken::new(), &faults)
+            .expect("the sequential rung absorbs the stalls");
+        assert_eq!(ans.rung, LadderRung::SequentialExplore);
+        assert_eq!(ans.deadlock_free, Some(true));
+        let reference = explore(&p, &[], ExploreConfig::default());
+        assert_eq!(ans.pairs, reference.mhp);
+        assert!(
+            ans.trace.iter().any(|l| l.contains("stalled")),
+            "trace must record the stall: {:?}",
+            ans.trace
+        );
+        assert!(ans.trace.iter().any(|l| l.contains("backing off")));
+    }
+
+    #[test]
+    fn ladder_descends_to_static_rungs_on_truncation() {
+        let p = examples::example_2_2();
+        // Two states are never enough to finish exploring, so both
+        // dynamic rungs are skipped over and the CS analysis answers.
+        let sup = Supervisor {
+            jobs: 1,
+            budget: Budget::unlimited().with_max_states(2),
+            ..Supervisor::default()
+        };
+        let ans = sup
+            .run(&p, &[], &CancelToken::new(), &FaultPlan::none())
+            .expect("static rungs always answer");
+        assert_eq!(ans.rung, LadderRung::ContextSensitive);
+        assert!(!ans.rung.is_dynamic());
+        assert_eq!(ans.deadlock_free, None);
+        let reference = analyze(&p);
+        assert_eq!(ans.pairs, normalized_pairs(&reference));
+    }
+
+    #[test]
+    fn ladder_propagates_cancellation() {
+        let p = examples::example_2_1();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let sup = Supervisor::default();
+        assert!(matches!(
+            sup.run(&p, &[], &cancel, &FaultPlan::none()),
+            Err(Fx10Error::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn decorrelated_backoff_stays_within_its_bounds() {
+        use std::time::Duration;
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        let mut rng = XorShift64::new(42);
+        let mut prev = base;
+        for _ in 0..1000 {
+            let b = rng.backoff(base, prev, cap);
+            assert!(b >= base.min(cap), "below base: {b:?}");
+            assert!(b <= cap, "above cap: {b:?}");
+            prev = b;
+        }
+        // Jitter actually jitters: not every draw is identical.
+        let mut rng = XorShift64::new(7);
+        let draws: Vec<_> = (0..32)
+            .map(|_| rng.backoff(base, Duration::from_millis(50), cap))
+            .collect();
+        assert!(draws.iter().any(|d| *d != draws[0]));
     }
 
     #[test]

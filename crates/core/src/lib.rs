@@ -41,8 +41,8 @@ pub mod typesystem;
 
 pub use analysis::{
     analyze, analyze_ci, analyze_with, analyze_with_budget, analyze_with_fallback,
-    analyze_with_faults, Analysis, AnalysisPath, AnalysisStats, FallbackOutcome, SolverKind,
-    SoundnessReport,
+    analyze_with_faults, Analysis, AnalysisPath, AnalysisStats, FallbackOutcome, LadderRung,
+    SolverKind, SoundnessReport, SupervisedAnswer, Supervisor,
 };
 pub use gen::Mode;
 pub use index::{StmtId, StmtIndex, StmtKind};

@@ -5,21 +5,35 @@
 //! fx10 parse   <file.fx10>                    check & pretty-print
 //! fx10 run     <file.fx10> [--sched S] [--input v,v,...] [--steps N]
 //! fx10 explore <file.fx10> [--max-states N] [--jobs N]   exhaustive dynamic MHP
+//!              [--checkpoint F [--checkpoint-every N]] [--resume F]
 //! fx10 mhp     <file.fx10> [--ci]             static MHP pairs
 //! fx10 race    <file.fx10>                    MHP-based race report
-//! fx10 check   <file.fx10>                    soundness: dynamic ⊆ static
+//! fx10 check   <file.fx10> [--ladder]         soundness: dynamic ⊆ static
 //! fx10 x10     <file.x10>  [--ci]             X10-Lite condensed analysis
 //! fx10 bench   <name|all>                     run a suite benchmark
 //! ```
 //!
 //! Every command accepts the resource-budget flags `--budget-states`,
 //! `--budget-iters` and `--timeout-ms`; a budget-cut run reports its
-//! partial result, says which budget tripped, and exits 3.
+//! partial result, says which budget tripped, and exits 3. A flag that is
+//! meaningless for the given command is a usage error (exit 2), never
+//! silently ignored.
 //!
 //! `explore` and `check` run the work-stealing interned explorer with
 //! `--jobs N` worker threads (default: the machine's available
 //! parallelism). Results are schedule-independent: every `--jobs` value
 //! computes the same states, MHP pairs and verdicts.
+//!
+//! **Durability.** `explore --checkpoint F` writes a consistent snapshot
+//! of the whole exploration (interner, visited set, frontier) to `F`
+//! every `--checkpoint-every N` admitted states and once more on exit;
+//! `explore --resume F` restarts from such a snapshot and produces
+//! byte-identical results to an uninterrupted run. A corrupt or
+//! mismatched snapshot is a typed usage error (exit 2). Both explorer
+//! commands run under a heartbeat watchdog that converts a wedged worker
+//! into a typed stall error (exit 4) instead of a hang. `check --ladder`
+//! runs the supervised degradation ladder (parallel explore → sequential
+//! explore → CS analysis → CI analysis) and reports which rung answered.
 //!
 //! Exit codes:
 //!
@@ -27,14 +41,18 @@
 //! |------|---------------------------------------------------|
 //! | 0    | success, conclusive answer                        |
 //! | 1    | analysis error (parse / validation / io / unsound)|
-//! | 2    | usage error                                       |
+//! | 2    | usage error / invalid snapshot                    |
 //! | 3    | budget exhausted — result partial / inconclusive  |
-//! | 4    | cancelled, or a worker thread panicked            |
+//! | 4    | cancelled, or a worker thread panicked or stalled |
 
-use fx10_core::{analyze_with_budget, analyze_with_fallback, AnalysisPath};
-use fx10_robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error};
-use fx10_semantics::{explore_parallel_budgeted, run_budgeted, ExploreConfig, Scheduler};
+use fx10_core::{analyze_with_budget, analyze_with_fallback, AnalysisPath, Supervisor};
+use fx10_robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error, PanicFault};
+use fx10_semantics::{
+    explore_parallel_durable, run_budgeted, CheckpointSpec, Durability, ExploreConfig,
+    ExplorerSnapshot, Scheduler, WatchdogSpec,
+};
 use fx10_syntax::Program;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -43,10 +61,14 @@ fn usage() -> ExitCode {
         "usage: fx10 <parse|run|explore|mhp|race|check|x10|bench> <file|name> [options]\n\
          options:\n\
            --sched <leftmost|rightmost|random[:seed]>   scheduler (run)\n\
-           --input v,v,...                              initial array (run/explore)\n\
+           --input v,v,...                              initial array (run/explore/check)\n\
            --steps N                                    step budget (run)\n\
-           --max-states N                               exploration cap\n\
+           --max-states N                               exploration cap (explore/check)\n\
            --jobs N                                     explorer worker threads (explore/check)\n\
+           --checkpoint <file>                          durable snapshot file (explore)\n\
+           --checkpoint-every N                         states between snapshots (explore)\n\
+           --resume <file>                              resume from a snapshot (explore)\n\
+           --ladder                                     supervised degradation ladder (check)\n\
            --ci                                         context-insensitive analysis\n\
            --solver <naive|worklist|scc|scc-par>        fixed-point algorithm\n\
            --places                                     same-place MHP refinement (x10)\n\
@@ -54,7 +76,8 @@ fn usage() -> ExitCode {
            --budget-iters N                             solver constraint-evaluation budget\n\
            --timeout-ms N                               wall-clock budget for the command\n\
            --fallback-ci                                degrade CS -> CI when the budget trips (mhp)\n\
-         exit codes: 0 ok, 1 analysis error, 2 usage, 3 budget exhausted, 4 cancelled/panicked"
+         exit codes: 0 ok, 1 analysis error, 2 usage/bad snapshot, 3 budget exhausted,\n\
+                     4 cancelled/panicked/stalled"
     );
     ExitCode::from(2)
 }
@@ -72,6 +95,18 @@ struct Opts {
     budget_iters: Option<u64>,
     timeout_ms: Option<u64>,
     fallback_ci: bool,
+    checkpoint: Option<String>,
+    checkpoint_every: usize,
+    resume: Option<String>,
+    ladder: bool,
+    /// `FX10_KILL_AT_CHECKPOINT` — simulate a process kill right after
+    /// the Nth durable checkpoint (the chaos harness's SIGKILL stand-in).
+    kill_at: Option<u64>,
+    /// `FX10_WEDGE_WORKER=k[:after]` — wedge explorer worker `k` after
+    /// `after` processed states (watchdog fault injection).
+    wedge: Option<PanicFault>,
+    /// `FX10_STALL_MS` — override the 10 s watchdog stall threshold.
+    stall_ms: Option<u64>,
 }
 
 impl Opts {
@@ -97,9 +132,38 @@ impl Opts {
             fx10_core::Mode::ContextSensitive
         }
     }
+
+    fn checkpoint_spec(&self) -> Option<CheckpointSpec> {
+        self.checkpoint.as_ref().map(|p| CheckpointSpec {
+            path: PathBuf::from(p),
+            every: self.checkpoint_every,
+        })
+    }
+
+    /// The explorer watchdog: 10 s stall threshold by default,
+    /// `FX10_STALL_MS` for tests that need a fast trigger. Polling scales
+    /// with the threshold so short thresholds are detected promptly.
+    fn watchdog(&self) -> WatchdogSpec {
+        let stall_ms = self.stall_ms.unwrap_or(10_000);
+        WatchdogSpec {
+            stall_after: Duration::from_millis(stall_ms),
+            poll: Duration::from_millis((stall_ms / 10).clamp(5, 50)),
+        }
+    }
+
+    /// The fault plan assembled from the chaos-testing env hooks.
+    fn faults(&self) -> FaultPlan {
+        FaultPlan {
+            wedge_worker: self.wedge,
+            kill_at_checkpoint: self.kill_at,
+            ..FaultPlan::none()
+        }
+    }
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+/// Parses the option tail, returning the options plus the list of flags
+/// that actually appeared (for the per-command validity audit).
+fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
     let mut o = Opts {
         sched: Scheduler::Leftmost,
         input: vec![],
@@ -115,9 +179,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         budget_iters: None,
         timeout_ms: None,
         fallback_ci: false,
+        checkpoint: None,
+        checkpoint_every: 1024,
+        resume: None,
+        ladder: false,
+        kill_at: None,
+        wedge: None,
+        stall_ms: None,
     };
+    env_hooks(&mut o)?;
+    let mut seen: Vec<&'static str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
+        // Record every flag spelling we recognize below; unknown ones
+        // fall through to the final match arm's error.
+        if let Some(known) = KNOWN_FLAGS.iter().find(|k| **k == args[i]) {
+            seen.push(known);
+        }
         match args[i].as_str() {
             "--sched" => {
                 i += 1;
@@ -193,6 +271,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .map_err(|_| "bad timeout")?,
                 );
             }
+            "--checkpoint" => {
+                i += 1;
+                o.checkpoint = Some(args.get(i).ok_or("--checkpoint needs a value")?.clone());
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                o.checkpoint_every = args
+                    .get(i)
+                    .ok_or("--checkpoint-every needs a value")?
+                    .parse()
+                    .map_err(|_| "bad checkpoint interval")?;
+                if o.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_string());
+                }
+            }
+            "--resume" => {
+                i += 1;
+                o.resume = Some(args.get(i).ok_or("--resume needs a value")?.clone());
+            }
+            "--ladder" => o.ladder = true,
             "--fallback-ci" => o.fallback_ci = true,
             "--ci" => o.ci = true,
             "--places" => o.places = true,
@@ -215,7 +313,120 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         }
         i += 1;
     }
-    Ok(o)
+    if o.checkpoint.is_none() && seen.contains(&"--checkpoint-every") {
+        return Err("--checkpoint-every requires --checkpoint".to_string());
+    }
+    Ok((o, seen))
+}
+
+/// Every flag [`parse_opts`] understands, for the seen-flag audit.
+const KNOWN_FLAGS: &[&str] = &[
+    "--sched",
+    "--input",
+    "--steps",
+    "--max-states",
+    "--jobs",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--resume",
+    "--ladder",
+    "--fallback-ci",
+    "--ci",
+    "--places",
+    "--solver",
+    "--budget-states",
+    "--budget-iters",
+    "--timeout-ms",
+];
+
+/// The flags each command accepts (the resource budgets are global).
+/// Anything outside the command's row is reported as a usage error
+/// instead of being silently ignored — `fx10 mhp f --jobs 8` means the
+/// user thinks `mhp` is parallel, and pretending to obey would mislead.
+fn allowed_flags(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "parse" => &[],
+        "run" => &["--sched", "--steps", "--input"],
+        "explore" => &[
+            "--input",
+            "--max-states",
+            "--jobs",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--resume",
+        ],
+        "mhp" => &["--ci", "--solver", "--fallback-ci"],
+        "race" => &["--ci", "--solver"],
+        "check" => &["--max-states", "--jobs", "--solver", "--input", "--ladder"],
+        "x10" => &["--ci", "--solver", "--places"],
+        "bench" => &["--ci", "--solver"],
+        _ => &[],
+    }
+}
+
+/// Rejects flags that are valid in general but meaningless for `cmd`.
+/// The budget trio is global; everything else must be in the command's
+/// [`allowed_flags`] row.
+fn validate_flags(cmd: &str, seen: &[&'static str]) -> Result<(), String> {
+    const GLOBAL: &[&str] = &["--budget-states", "--budget-iters", "--timeout-ms"];
+    let allowed = allowed_flags(cmd);
+    for flag in seen {
+        if !GLOBAL.contains(flag) && !allowed.contains(flag) {
+            return Err(format!("`{flag}` is not valid for `{cmd}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Chaos-testing hooks, env-var driven so the e2e harness can inject
+/// faults through an unmodified binary. Values are parsed as strictly as
+/// command-line flags: garbage is a usage error, not a silent no-op.
+fn env_hooks(o: &mut Opts) -> Result<(), String> {
+    fn var(name: &str) -> Result<Option<String>, String> {
+        match std::env::var_os(name) {
+            None => Ok(None),
+            Some(v) => v
+                .into_string()
+                .map(Some)
+                .map_err(|_| format!("{name} must be UTF-8")),
+        }
+    }
+    if let Some(v) = var("FX10_KILL_AT_CHECKPOINT")? {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| format!("bad FX10_KILL_AT_CHECKPOINT `{v}`"))?;
+        if n == 0 {
+            return Err("FX10_KILL_AT_CHECKPOINT is 1-based; must be >= 1".to_string());
+        }
+        o.kill_at = Some(n);
+    }
+    if let Some(v) = var("FX10_WEDGE_WORKER")? {
+        let (worker, after) = match v.split_once(':') {
+            Some((w, a)) => (
+                w.parse()
+                    .map_err(|_| format!("bad FX10_WEDGE_WORKER worker `{w}`"))?,
+                a.parse()
+                    .map_err(|_| format!("bad FX10_WEDGE_WORKER threshold `{a}`"))?,
+            ),
+            None => (
+                v.parse()
+                    .map_err(|_| format!("bad FX10_WEDGE_WORKER `{v}`"))?,
+                0,
+            ),
+        };
+        o.wedge = Some(PanicFault {
+            worker,
+            after_states: after,
+        });
+    }
+    if let Some(v) = var("FX10_STALL_MS")? {
+        let n: u64 = v.parse().map_err(|_| format!("bad FX10_STALL_MS `{v}`"))?;
+        if n == 0 {
+            return Err("FX10_STALL_MS must be >= 1".to_string());
+        }
+        o.stall_ms = Some(n);
+    }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<Program, Fx10Error> {
@@ -282,7 +493,17 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
         }
         "explore" => {
             let p = load(target)?;
-            let e = explore_parallel_budgeted(
+            // Load the snapshot before spinning anything up: a corrupt or
+            // mismatched file must be a clean typed error (exit 2).
+            let resumed = match &opts.resume {
+                Some(path) => {
+                    let snap = ExplorerSnapshot::load(std::path::Path::new(path))?;
+                    eprintln!("resuming from `{path}`");
+                    Some(snap)
+                }
+                None => None,
+            };
+            let e = explore_parallel_durable(
                 &p,
                 &opts.input,
                 ExploreConfig {
@@ -292,7 +513,12 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
                 opts.jobs,
                 budget,
                 &cancel,
-                &FaultPlan::none(),
+                &opts.faults(),
+                Durability {
+                    checkpoint: opts.checkpoint_spec(),
+                    resume: resumed.as_ref(),
+                    watchdog: Some(opts.watchdog()),
+                },
             )?;
             println!("jobs: {} (work-stealing interned explorer)", opts.jobs);
             println!(
@@ -366,6 +592,74 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
             }
             Ok(Verdict::of(a.exhausted))
         }
+        "check" if opts.ladder => {
+            let p = load(target)?;
+            let wd = opts.watchdog();
+            let sup = Supervisor {
+                jobs: opts.jobs,
+                budget,
+                explore_config: ExploreConfig {
+                    max_states: opts.max_states,
+                    ..ExploreConfig::default()
+                },
+                solver: opts.solver,
+                stall_after: wd.stall_after,
+                poll: wd.poll,
+                ..Supervisor::default()
+            };
+            let ans = sup.run(&p, &opts.input, &cancel, &opts.faults())?;
+            for line in &ans.trace {
+                println!("ladder: {line}");
+            }
+            println!("ladder: answered on rung {}", ans.rung);
+            if !ans.rung.is_dynamic() {
+                // No dynamic ground truth was obtainable, so Theorem 2
+                // cannot be checked — the static pair set is still a
+                // sound over-approximation, but the verdict is partial.
+                println!(
+                    "static rung answered with {} pair(s); soundness not checkable \
+                     without a dynamic ground truth",
+                    ans.pairs.len()
+                );
+                println!("INCONCLUSIVE (dynamic exploration infeasible)");
+                return Ok(Verdict::Inconclusive(
+                    ans.exhausted.unwrap_or(Exhaustion::States),
+                ));
+            }
+            let a = analyze_with_budget(
+                &p,
+                fx10_core::Mode::ContextSensitive,
+                opts.solver,
+                budget,
+                &cancel,
+            )?;
+            if let Some(x) = a.exhausted {
+                println!("INCONCLUSIVE ({x} exhausted during static analysis)");
+                return Ok(Verdict::Inconclusive(x));
+            }
+            let soundness = a.check_soundness(ans.pairs.iter());
+            for &(x, y) in &soundness.missing {
+                println!(
+                    "UNSOUND: dynamic pair ({}, {}) not in static MHP",
+                    p.labels().display(x),
+                    p.labels().display(y)
+                );
+            }
+            println!(
+                "dynamic pairs: {}, static pairs: {}, deadlock-free: {}",
+                ans.pairs.len(),
+                soundness.static_pairs,
+                ans.deadlock_free.expect("dynamic rung observes Theorem 1")
+            );
+            if !soundness.is_sound() {
+                return Err(Fx10Error::Validate(format!(
+                    "{} dynamic pair(s) missing statically",
+                    soundness.missing.len()
+                )));
+            }
+            println!("soundness check PASSED (dynamic ⊆ static)");
+            Ok(Verdict::Conclusive)
+        }
         "check" => {
             let p = load(target)?;
             let a = analyze_with_budget(
@@ -375,7 +669,7 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
                 budget,
                 &cancel,
             )?;
-            let e = explore_parallel_budgeted(
+            let e = explore_parallel_durable(
                 &p,
                 &opts.input,
                 ExploreConfig {
@@ -385,7 +679,12 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
                 opts.jobs,
                 budget,
                 &cancel,
-                &FaultPlan::none(),
+                &opts.faults(),
+                Durability {
+                    checkpoint: None,
+                    resume: None,
+                    watchdog: Some(opts.watchdog()),
+                },
             )?;
             // A budget-cut *static* analysis is an under-approximation, so
             // "dynamic pair missing statically" would be a false alarm:
@@ -585,7 +884,13 @@ fn main() -> ExitCode {
         None => return usage(),
     };
     let opts = match parse_opts(optargs) {
-        Ok(o) => o,
+        Ok((o, seen)) => {
+            if let Err(e) = validate_flags(cmd, &seen) {
+                eprintln!("error: {e}");
+                return usage();
+            }
+            o
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return usage();

@@ -6,9 +6,9 @@
 //! |------|---------------------------------------------------|
 //! | 0    | success, conclusive answer                        |
 //! | 1    | analysis error (parse / validation / io / unsound)|
-//! | 2    | usage error                                       |
+//! | 2    | usage error, or a corrupt / mismatched snapshot   |
 //! | 3    | budget exhausted — result partial / inconclusive  |
-//! | 4    | cancelled, or a worker thread panicked            |
+//! | 4    | cancelled, a worker panicked, or a worker stalled |
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -351,4 +351,272 @@ fn solver_choices_all_respect_budgets() {
         let ok = fx10(&["mhp", "programs/example22.fx10", "--solver", solver]);
         assert_eq!(code(&ok), 0, "{solver}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable checkpoints, snapshot validation, watchdog and ladder (e2e)
+// ---------------------------------------------------------------------------
+
+fn fx10_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fx10"));
+    cmd.current_dir(repo_root()).args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_snap(tag: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join(format!("fx10-cli-{tag}-{}-{n}.fxsnap", std::process::id()))
+        .display()
+        .to_string()
+}
+
+/// Every corrupt-snapshot fixture is rejected before any exploration
+/// happens: exit 2 and a typed message naming the defect.
+#[test]
+fn corrupt_snapshot_fixtures_are_rejected_exit_2() {
+    for (fixture, needle) in [
+        ("programs/snap_truncated.fxsnap", "truncated"),
+        ("programs/snap_bad_magic.fxsnap", "bad magic"),
+        (
+            "programs/snap_bad_version.fxsnap",
+            "unsupported snapshot version 99",
+        ),
+        ("programs/snap_bad_checksum.fxsnap", "checksum mismatch"),
+    ] {
+        let out = fx10(&["explore", "programs/example22.fx10", "--resume", fixture]);
+        assert_eq!(code(&out), 2, "{fixture}: {out:?}");
+        let e = stderr(&out);
+        assert!(e.contains(needle), "{fixture}: expected `{needle}` in {e}");
+    }
+    // A structurally valid snapshot of the *wrong program* is rejected by
+    // its fingerprint, same exit code.
+    let out = fx10(&[
+        "explore",
+        "programs/fork_join.fx10",
+        "--resume",
+        "programs/snap_example22.fxsnap",
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    assert!(stderr(&out).contains("fingerprint"), "{}", stderr(&out));
+    // A missing snapshot file is an I/O error, not a usage error.
+    assert_eq!(
+        code(&fx10(&[
+            "explore",
+            "programs/example22.fx10",
+            "--resume",
+            "no/such.fxsnap"
+        ])),
+        1
+    );
+}
+
+/// The checked-in valid snapshot resumes cleanly and reproduces the
+/// from-scratch exploration line for line.
+#[test]
+fn valid_snapshot_fixture_resumes_to_the_reference_answer() {
+    let fresh = fx10(&["explore", "programs/example22.fx10"]);
+    assert_eq!(code(&fresh), 0);
+    let resumed = fx10(&[
+        "explore",
+        "programs/example22.fx10",
+        "--resume",
+        "programs/snap_example22.fxsnap",
+    ]);
+    assert_eq!(code(&resumed), 0, "{resumed:?}");
+    assert!(stderr(&resumed).contains("resuming from"), "{resumed:?}");
+    assert_eq!(stdout(&resumed), stdout(&fresh));
+}
+
+/// Every value-taking flag rejects both a missing value and a garbage
+/// value with exit 2 (and the usage text on stderr) — nothing is
+/// silently defaulted.
+#[test]
+fn value_flags_reject_missing_and_garbage_values_exit_2() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["run", "programs/fork_join.fx10", "--sched"], "sideways"),
+        (&["run", "programs/fork_join.fx10", "--steps"], "lots"),
+        (&["run", "programs/fork_join.fx10", "--input"], "1,x"),
+        (
+            &["explore", "programs/fork_join.fx10", "--max-states"],
+            "big",
+        ),
+        (&["explore", "programs/fork_join.fx10", "--jobs"], "many"),
+        (
+            &["explore", "programs/fork_join.fx10", "--checkpoint-every"],
+            "often",
+        ),
+        (&["mhp", "programs/example22.fx10", "--solver"], "magic"),
+        (
+            &["mhp", "programs/example22.fx10", "--budget-states"],
+            "nope",
+        ),
+        (
+            &["mhp", "programs/example22.fx10", "--budget-iters"],
+            "nope",
+        ),
+        (&["mhp", "programs/example22.fx10", "--timeout-ms"], "soon"),
+    ];
+    for (prefix, garbage) in cases {
+        let flag = prefix.last().unwrap();
+        // Missing value: the flag is the final token.
+        let out = fx10(prefix);
+        assert_eq!(code(&out), 2, "{flag} with no value: {out:?}");
+        assert!(stderr(&out).contains("usage"), "{flag}: {}", stderr(&out));
+        // Garbage value.
+        let mut argv: Vec<&str> = prefix.to_vec();
+        argv.push(garbage);
+        let out = fx10(&argv);
+        assert_eq!(code(&out), 2, "{flag} {garbage}: {out:?}");
+        assert!(stderr(&out).contains("usage"), "{flag}: {}", stderr(&out));
+    }
+    // --checkpoint and --resume take paths: only the missing-value form
+    // is a usage error.
+    for flag in ["--checkpoint", "--resume"] {
+        let out = fx10(&["explore", "programs/fork_join.fx10", flag]);
+        assert_eq!(code(&out), 2, "{flag} with no value: {out:?}");
+    }
+    // --checkpoint-every 0 would mean "never checkpoint": rejected.
+    let ck = temp_snap("every0");
+    let out = fx10(&[
+        "explore",
+        "programs/fork_join.fx10",
+        "--checkpoint",
+        &ck,
+        "--checkpoint-every",
+        "0",
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+}
+
+/// A flag that exists but does not apply to the subcommand is reported,
+/// not silently ignored.
+#[test]
+fn known_flag_on_the_wrong_subcommand_exits_2() {
+    let cases: &[&[&str]] = &[
+        &["mhp", "programs/example22.fx10", "--jobs", "2"],
+        &["explore", "programs/fork_join.fx10", "--sched", "leftmost"],
+        &["explore", "programs/fork_join.fx10", "--ladder"],
+        &["explore", "programs/fork_join.fx10", "--ci"],
+        &["run", "programs/fork_join.fx10", "--solver", "scc"],
+        &["race", "programs/racey.fx10", "--places"],
+        &["check", "programs/example22.fx10", "--fallback-ci"],
+    ];
+    for argv in cases {
+        let out = fx10(argv);
+        assert_eq!(code(&out), 2, "{argv:?}: {out:?}");
+        let e = stderr(&out);
+        assert!(e.contains("is not valid for"), "{argv:?}: {e}");
+    }
+    // --checkpoint-every without --checkpoint is contradictory, same code.
+    let out = fx10(&[
+        "explore",
+        "programs/fork_join.fx10",
+        "--checkpoint-every",
+        "5",
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    assert!(
+        stderr(&out).contains("requires --checkpoint"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+/// Kill-and-resume end-to-end: a run killed at its first durable
+/// checkpoint exits 4; resuming the snapshot finishes with exit 0 and
+/// byte-identical stdout to an uninterrupted run.
+#[test]
+fn kill_at_checkpoint_then_resume_matches_the_reference_run() {
+    let ck = temp_snap("kill-resume");
+    let killed = fx10_env(
+        &[
+            "explore",
+            "programs/fork_join.fx10",
+            "--jobs",
+            "2",
+            "--checkpoint",
+            &ck,
+            "--checkpoint-every",
+            "7",
+        ],
+        &[("FX10_KILL_AT_CHECKPOINT", "1")],
+    );
+    assert_eq!(code(&killed), 4, "{killed:?}");
+    let resumed = fx10(&[
+        "explore",
+        "programs/fork_join.fx10",
+        "--jobs",
+        "2",
+        "--resume",
+        &ck,
+    ]);
+    assert_eq!(code(&resumed), 0, "{resumed:?}");
+    let reference = fx10(&["explore", "programs/fork_join.fx10", "--jobs", "2"]);
+    assert_eq!(code(&reference), 0);
+    assert_eq!(stdout(&resumed), stdout(&reference));
+    let _ = std::fs::remove_file(&ck);
+}
+
+/// Garbage in the chaos-hook environment variables is a usage error —
+/// a typo must not silently disable the planned fault.
+#[test]
+fn malformed_chaos_env_hooks_exit_2() {
+    for (key, val) in [
+        ("FX10_KILL_AT_CHECKPOINT", "zero"),
+        ("FX10_KILL_AT_CHECKPOINT", "0"),
+        ("FX10_WEDGE_WORKER", "first"),
+        ("FX10_WEDGE_WORKER", "1:lots"),
+        ("FX10_STALL_MS", "0"),
+        ("FX10_STALL_MS", "forever"),
+    ] {
+        let out = fx10_env(&["explore", "programs/fork_join.fx10"], &[(key, val)]);
+        assert_eq!(code(&out), 2, "{key}={val}: {out:?}");
+        assert!(stderr(&out).contains(key), "{key}: {}", stderr(&out));
+    }
+}
+
+/// A wedged worker under `check --ladder` descends to the sequential
+/// rung, reports the rung it answered on, and still proves soundness.
+#[test]
+fn ladder_reports_the_answering_rung_under_a_wedge() {
+    let out = fx10_env(
+        &[
+            "check",
+            "programs/example22.fx10",
+            "--ladder",
+            "--jobs",
+            "2",
+        ],
+        &[("FX10_WEDGE_WORKER", "0"), ("FX10_STALL_MS", "200")],
+    );
+    assert_eq!(code(&out), 0, "{out:?}");
+    let s = stdout(&out);
+    assert!(
+        s.contains("ladder: answered on rung sequential-explore"),
+        "{s}"
+    );
+    assert!(s.contains("stalled"), "the descent must be traced: {s}");
+    assert!(s.contains("soundness check PASSED"), "{s}");
+}
+
+/// A wedged worker on a plain (non-ladder) run surfaces as the typed
+/// stall with exit 4.
+#[test]
+fn wedged_worker_without_the_ladder_exits_4() {
+    let out = fx10_env(
+        &["explore", "programs/fork_join.fx10", "--jobs", "2"],
+        &[("FX10_WEDGE_WORKER", "0"), ("FX10_STALL_MS", "200")],
+    );
+    assert_eq!(code(&out), 4, "{out:?}");
+    assert!(stderr(&out).contains("stalled"), "{}", stderr(&out));
 }

@@ -20,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+pub mod snapshot;
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -66,6 +68,21 @@ pub enum Fx10Error {
         /// The panic payload, rendered.
         message: String,
     },
+    /// A snapshot file could not be decoded (corrupt, truncated, wrong
+    /// version, or not matching the program being resumed). Treated as a
+    /// usage error — the *input* is bad, not the analysis.
+    Snapshot {
+        /// What was wrong with the snapshot, rendered.
+        message: String,
+    },
+    /// The watchdog observed a worker whose heartbeat stopped advancing
+    /// for longer than the stall threshold and cancelled the crew.
+    WorkerStalled {
+        /// Index of the stalled worker.
+        worker: usize,
+        /// How long its heartbeat had been frozen, in milliseconds.
+        stalled_ms: u64,
+    },
 }
 
 impl Fx10Error {
@@ -75,14 +92,17 @@ impl Fx10Error {
     /// |------|------------------------------------------|
     /// | 0    | success (not an error)                   |
     /// | 1    | analysis error (parse/validate/io/unsound)|
-    /// | 2    | usage error                              |
+    /// | 2    | usage error / invalid snapshot           |
     /// | 3    | budget exhausted / inconclusive          |
-    /// | 4    | cancelled or worker panicked             |
+    /// | 4    | cancelled, worker panicked or stalled    |
     pub fn exit_code(&self) -> u8 {
         match self {
             Fx10Error::Parse { .. } | Fx10Error::Validate(_) | Fx10Error::Io { .. } => 1,
+            Fx10Error::Snapshot { .. } => 2,
             Fx10Error::BudgetExhausted(_) => 3,
-            Fx10Error::Cancelled | Fx10Error::WorkerPanicked { .. } => 4,
+            Fx10Error::Cancelled
+            | Fx10Error::WorkerPanicked { .. }
+            | Fx10Error::WorkerStalled { .. } => 4,
         }
     }
 }
@@ -100,6 +120,13 @@ impl fmt::Display for Fx10Error {
             Fx10Error::Cancelled => write!(f, "cancelled"),
             Fx10Error::WorkerPanicked { worker, message } => {
                 write!(f, "worker {worker} panicked: {message}")
+            }
+            Fx10Error::Snapshot { message } => write!(f, "snapshot error: {message}"),
+            Fx10Error::WorkerStalled { worker, stalled_ms } => {
+                write!(
+                    f,
+                    "worker {worker} stalled: heartbeat frozen for {stalled_ms} ms"
+                )
             }
         }
     }
@@ -441,6 +468,25 @@ impl SharedMeter {
         self.states.load(Ordering::Relaxed)
     }
 
+    /// Bulk-credits `n` states restored from a snapshot against `cap`.
+    ///
+    /// Unlike [`try_reserve_states`](SharedMeter::try_reserve_states)
+    /// the credits are *kept* even when the cap is already met — the
+    /// restored states exist and must be accounted — but `false` is
+    /// returned and [`Exhaustion::States`] recorded so the resumed run
+    /// immediately reports truncation instead of silently exceeding its
+    /// budget. Landing exactly *at* the cap is fine: later reservations
+    /// refuse naturally.
+    pub fn restore_states(&self, n: usize, cap: usize) -> bool {
+        let now = self.states.fetch_add(n, Ordering::Relaxed) + n;
+        if now > cap {
+            self.note_exhaustion(Exhaustion::States);
+            false
+        } else {
+            true
+        }
+    }
+
     /// Charges `n` work units (no cap of its own; feeds [`Self::ticks`]).
     pub fn charge_ticks(&self, n: u64) {
         self.ticks.fetch_add(n, Ordering::Relaxed);
@@ -575,6 +621,17 @@ pub struct FaultPlan {
     /// an adversarial schedule that changes discovery order but must not
     /// change any computed set.
     pub adversarial_schedule: bool,
+    /// Wedge worker `worker` after `after_states` processed items: the
+    /// worker stops making progress *and stops heartbeating* (as if stuck
+    /// in a runaway loop or a hung syscall). Only the watchdog, a budget
+    /// trip or cancellation can release it — a crew with a wedged worker
+    /// and no watchdog hangs, which is exactly what the watchdog tests
+    /// prove does not happen.
+    pub wedge_worker: Option<PanicFault>,
+    /// Simulate a process kill immediately after the Nth successful
+    /// durable checkpoint (1-based): the engine stops as if SIGKILLed,
+    /// leaving that checkpoint on disk for a resume test.
+    pub kill_at_checkpoint: Option<u64>,
 }
 
 /// See [`FaultPlan::panic_worker`].
@@ -596,6 +653,12 @@ impl FaultPlan {
     pub fn should_panic(&self, worker: usize, processed: u64) -> bool {
         self.panic_worker
             .is_some_and(|pf| pf.worker == worker && processed >= pf.after_states)
+    }
+
+    /// Should `worker`, having processed `processed` items, wedge now?
+    pub fn should_wedge(&self, worker: usize, processed: u64) -> bool {
+        self.wedge_worker
+            .is_some_and(|wf| wf.worker == worker && processed >= wf.after_states)
     }
 
     /// The effective state cap after applying a forced trip.
@@ -647,6 +710,21 @@ mod tests {
             .exit_code(),
             4
         );
+        assert_eq!(
+            Fx10Error::Snapshot {
+                message: "m".into()
+            }
+            .exit_code(),
+            2
+        );
+        assert_eq!(
+            Fx10Error::WorkerStalled {
+                worker: 1,
+                stalled_ms: 250
+            }
+            .exit_code(),
+            4
+        );
     }
 
     #[test]
@@ -694,6 +772,7 @@ mod tests {
             }),
             trip_states_after: Some(100),
             adversarial_schedule: true,
+            ..FaultPlan::none()
         };
         assert!(!plan.should_panic(1, 100));
         assert!(!plan.should_panic(2, 4));
@@ -702,6 +781,34 @@ mod tests {
         assert_eq!(plan.effective_max_states(Some(50)), Some(50));
         assert_eq!(plan.effective_max_states(Some(500)), Some(100));
         assert_eq!(FaultPlan::none().effective_max_states(None), None);
+
+        let wedge = FaultPlan {
+            wedge_worker: Some(PanicFault {
+                worker: 0,
+                after_states: 2,
+            }),
+            ..FaultPlan::none()
+        };
+        assert!(!wedge.should_wedge(1, 100));
+        assert!(!wedge.should_wedge(0, 1));
+        assert!(wedge.should_wedge(0, 2));
+        assert!(!FaultPlan::none().should_wedge(0, 0));
+    }
+
+    #[test]
+    fn restore_states_keeps_credits_but_reports_overflow() {
+        let m = SharedMeter::new(Budget::unlimited(), CancelToken::new());
+        assert!(m.restore_states(10, 10), "landing at the cap is fine");
+        assert_eq!(m.states(), 10);
+        assert_eq!(m.exhaustion(), None);
+        // The cap is now met: a fresh reservation refuses...
+        assert!(!m.try_reserve_states(1, 10));
+        // ...and a restore past the cap keeps the credits yet reports.
+        let m = SharedMeter::new(Budget::unlimited(), CancelToken::new());
+        assert!(!m.restore_states(11, 10));
+        assert_eq!(m.states(), 11, "restored states stay accounted");
+        assert_eq!(m.exhaustion(), Some(Exhaustion::States));
+        assert!(m.is_stopped());
     }
 
     #[test]
@@ -756,6 +863,117 @@ mod tests {
         assert!(!m.try_grow_bytes(60));
         assert_eq!(m.exhaustion(), Some(Exhaustion::Memory));
         assert_eq!(m.bytes(), 120);
+    }
+
+    // -----------------------------------------------------------------
+    // Brute-force interleavings of cancel() vs deadline expiry vs
+    // checkpoint(): the documented contract is that cancellation beats
+    // exhaustion — once a checkpoint has observed the cancel token, no
+    // later checkpoint may report Deadline, and a cancel seen together
+    // with an expired deadline resolves to Cancelled.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn cancel_beats_deadline_when_both_fired() {
+        // Deterministic interleaving: both conditions are already true
+        // when checkpoint runs. Cancel must win and no exhaustion may be
+        // recorded by that call.
+        let cancel = CancelToken::new();
+        let past = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        let m = SharedMeter::new(past, cancel.clone());
+        cancel.cancel();
+        assert_eq!(m.checkpoint(), Err(Stop::Cancelled));
+        assert_eq!(
+            m.exhaustion(),
+            None,
+            "a cancelled checkpoint must not record a deadline trip"
+        );
+        // Repeated polls stay Cancelled forever.
+        for _ in 0..100 {
+            assert_eq!(m.checkpoint(), Err(Stop::Cancelled));
+        }
+        assert_eq!(m.exhaustion(), None);
+        // The single-threaded meter agrees.
+        let mut bm = BudgetMeter::new(past, cancel.clone());
+        assert_eq!(bm.checkpoint(), Err(Stop::Cancelled));
+        assert_eq!(bm.exhaustion(), None);
+    }
+
+    #[test]
+    fn threaded_checkpoints_racing_a_canceller_never_report_deadline_after_cancel() {
+        // Many pollers hammer checkpoint() while one thread cancels at an
+        // arbitrary point; the deadline expires mid-run too. After the
+        // cancel is observed once, every poller must keep seeing
+        // Cancelled (never flip back to Deadline), and the union of
+        // verdicts may contain Deadline only from polls that ran before
+        // the cancel landed.
+        for trial in 0..20u32 {
+            let cancel = CancelToken::new();
+            let deadline = Instant::now() + Duration::from_micros(50 * trial as u64);
+            let m = SharedMeter::new(Budget::unlimited().with_deadline(deadline), cancel.clone());
+            std::thread::scope(|s| {
+                let pollers: Vec<_> = (0..4)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut after_cancel_deadline = false;
+                            let mut seen_cancel = false;
+                            for _ in 0..500 {
+                                match m.checkpoint() {
+                                    Err(Stop::Cancelled) => seen_cancel = true,
+                                    Err(Stop::Exhausted(Exhaustion::Deadline)) => {
+                                        if seen_cancel {
+                                            after_cancel_deadline = true;
+                                        }
+                                    }
+                                    Err(other) => panic!("unexpected stop {other:?}"),
+                                    Ok(()) => {}
+                                }
+                                std::hint::spin_loop();
+                            }
+                            after_cancel_deadline
+                        })
+                    })
+                    .collect();
+                s.spawn(|| {
+                    std::thread::yield_now();
+                    cancel.cancel();
+                });
+                for p in pollers {
+                    assert!(
+                        !p.join().unwrap(),
+                        "trial {trial}: a poll reported Deadline after observing Cancelled"
+                    );
+                }
+            });
+            // Terminal state: always Cancelled.
+            assert_eq!(m.checkpoint(), Err(Stop::Cancelled));
+        }
+    }
+
+    #[test]
+    fn concurrent_exhaustion_notes_are_first_writer_wins_and_stable() {
+        let m = SharedMeter::new(Budget::unlimited(), CancelToken::new());
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let m = &m;
+                s.spawn(move || {
+                    let e = if i % 2 == 0 {
+                        Exhaustion::States
+                    } else {
+                        Exhaustion::Memory
+                    };
+                    for _ in 0..100 {
+                        m.note_exhaustion(e);
+                    }
+                });
+            }
+        });
+        let first = m.exhaustion().expect("someone must have won");
+        assert!(matches!(first, Exhaustion::States | Exhaustion::Memory));
+        // Later notes never overwrite the first.
+        m.note_exhaustion(Exhaustion::Deadline);
+        assert_eq!(m.exhaustion(), Some(first));
+        assert!(m.is_stopped());
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 use crate::intern::{self, state_key, state_parts, ArrayId, Interner, TreeId};
 use crate::parallel::{parallel, LabelPair};
+use crate::snapshot::{self, ExplorerSnapshot};
 use crate::state::ArrayState;
 use crate::step::{initial_tree, successors};
 use crate::tree::Tree;
@@ -61,8 +62,10 @@ use fx10_syntax::Program;
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Exploration limits and state-representation knobs.
 #[derive(Debug, Clone, Copy)]
@@ -341,6 +344,91 @@ pub fn explore_interned_budgeted(
     explore_parallel_budgeted(p, input, config, 1, budget, cancel, &FaultPlan::none())
 }
 
+/// Periodic durable checkpointing for the parallel explorer.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Where the snapshot file lives (atomically replaced on every
+    /// checkpoint, so the path always holds the latest complete one).
+    pub path: PathBuf,
+    /// Take a checkpoint every this many newly-admitted states.
+    pub every: usize,
+}
+
+/// Watchdog configuration: how long a worker's heartbeat may stay
+/// frozen before the crew is declared stalled.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogSpec {
+    /// A worker whose heartbeat has not advanced for this long (and has
+    /// not exited) is *stalled* — slow workers keep beating at every
+    /// loop iteration, including while parked or hunting for work, so
+    /// the criterion separates "wedged" from "busy".
+    pub stall_after: Duration,
+    /// How often the watchdog samples the heartbeats.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogSpec {
+    fn default() -> Self {
+        WatchdogSpec {
+            stall_after: Duration::from_secs(10),
+            poll: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The durability/supervision options of one parallel exploration.
+#[derive(Debug, Default)]
+pub struct Durability<'a> {
+    /// Take periodic durable checkpoints (plus a final one on budget
+    /// exhaustion, stall, deadline or completion).
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume from a previously-written snapshot instead of the initial
+    /// state. The snapshot's fingerprint must match the program, input
+    /// and state-shaping flags.
+    pub resume: Option<&'a ExplorerSnapshot>,
+    /// Run a supervisor thread that converts a stalled worker into
+    /// [`Fx10Error::WorkerStalled`] instead of a hang.
+    pub watchdog: Option<WatchdogSpec>,
+}
+
+/// Crew-side state of the periodic-checkpoint protocol.
+struct CkptCtl {
+    path: PathBuf,
+    every: usize,
+    /// Raised by the worker that trips the `every` threshold; all other
+    /// workers park at their next loop top until the writer clears it.
+    paused: AtomicBool,
+    /// The worker elected to write (usize::MAX = none).
+    writer: AtomicUsize,
+    /// States admitted since the last checkpoint.
+    since: AtomicUsize,
+    /// Completed checkpoints.
+    seq: AtomicU64,
+    /// Injected fault: stop as if SIGKILLed right after this many
+    /// checkpoints (1-based).
+    kill_at: Option<u64>,
+    killed: AtomicBool,
+    /// First checkpoint-write failure (reported after the join unless a
+    /// more severe error wins).
+    io_error: Mutex<Option<Fx10Error>>,
+}
+
+impl CkptCtl {
+    fn new(spec: CheckpointSpec, kill_at: Option<u64>) -> CkptCtl {
+        CkptCtl {
+            path: spec.path,
+            every: spec.every.max(1),
+            paused: AtomicBool::new(false),
+            writer: AtomicUsize::new(usize::MAX),
+            since: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            kill_at,
+            killed: AtomicBool::new(false),
+            io_error: Mutex::new(None),
+        }
+    }
+}
+
 /// The shared mutable side of one work-stealing exploration.
 struct Engine<'p> {
     p: &'p Program,
@@ -366,6 +454,20 @@ struct Engine<'p> {
     cancelled: AtomicBool,
     /// First worker panic (index, rendered payload).
     panic: Mutex<Option<(usize, String)>>,
+    /// Identity of (program, input, shaping flags) for snapshots.
+    fingerprint: u64,
+    /// One monotonically-advancing epoch per worker; bumped at every
+    /// loop iteration (including park-spins and work hunts), frozen only
+    /// when a worker is genuinely wedged.
+    heartbeats: Vec<AtomicU64>,
+    /// Set once a worker's thread has returned (panicked or not).
+    exited: Vec<AtomicBool>,
+    /// Workers currently parked for a checkpoint write.
+    parked: AtomicUsize,
+    /// First stall the watchdog observed: (worker, frozen-for ms).
+    stalled: Mutex<Option<(usize, u64)>>,
+    /// Periodic-checkpoint protocol, when configured.
+    ckpt: Option<CkptCtl>,
 }
 
 impl Engine<'_> {
@@ -428,16 +530,10 @@ impl Engine<'_> {
     }
 
     /// Expands one state: records the terminal / deadlock verdicts and
-    /// enqueues every newly-discovered successor (recording its tree for
-    /// the MHP union). Returns early when a budget wall is hit — the
-    /// reservation failure has already raised the stop flag.
-    fn expand(
-        &self,
-        id: usize,
-        key: u64,
-        trees: &mut HashSet<TreeId>,
-        scratch: &mut Vec<(ArrayId, TreeId)>,
-    ) {
+    /// enqueues every newly-discovered successor. Returns early when a
+    /// budget wall is hit — the reservation failure has already raised
+    /// the stop flag.
+    fn expand(&self, id: usize, key: u64, scratch: &mut Vec<(ArrayId, TreeId)>) {
         let (a, t) = state_parts(key);
         if t == intern::DONE {
             self.terminals.fetch_add(1, Ordering::Relaxed);
@@ -464,22 +560,73 @@ impl Engine<'_> {
                 || !self.meter.try_grow_bytes(self.state_bytes(sa))
             {
                 // Budget wall: exhaustion recorded, stop flag raised.
+                // Undo the speculative insert so `visited` stays exactly
+                // `expanded ∪ frontier` — the invariant the final
+                // checkpoint relies on. (A concurrent duplicate that lost
+                // the insert race was skipped above and is now dropped
+                // with this key; that benign lost state can only happen
+                // on a run that is already truncated.)
+                lock_shard(&self.visited[shard_idx(k)]).remove(&k);
                 return;
             }
-            trees.insert(st);
             self.pending.fetch_add(1, Ordering::SeqCst);
             lock_shard(&self.deques[id]).push_back(k);
+            if let Some(ckpt) = &self.ckpt {
+                if ckpt.since.fetch_add(1, Ordering::SeqCst) + 1 >= ckpt.every
+                    && ckpt
+                        .paused
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    ckpt.since.store(0, Ordering::SeqCst);
+                    ckpt.writer.store(id, Ordering::SeqCst);
+                }
+            }
         }
     }
 
-    /// One worker's drain loop. Returns the trees it discovered (for the
-    /// MHP union). Panics escape to the `catch_unwind` in the spawner.
-    fn worker(&self, id: usize, faults: &FaultPlan) -> HashSet<TreeId> {
-        let mut trees = HashSet::new();
+    /// Bumps this worker's heartbeat epoch (the watchdog's liveness
+    /// signal).
+    fn beat(&self, id: usize) {
+        self.heartbeats[id].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One worker's drain loop. Panics escape to the `catch_unwind` in
+    /// the spawner. Every path out of the loop leaves the worker holding
+    /// no in-flight key, so `visited = expanded ∪ frontier` holds at
+    /// exit and at every checkpoint safepoint.
+    fn worker(&self, id: usize, faults: &FaultPlan) {
         let mut scratch = Vec::new();
         let mut processed = 0u64;
         loop {
+            self.beat(id);
+            // Checkpoint safepoint: the elected writer freezes the crew;
+            // everyone else parks (still beating) until it finishes.
+            if let Some(ckpt) = &self.ckpt {
+                if ckpt.paused.load(Ordering::SeqCst) && !self.meter.is_stopped() {
+                    if ckpt.writer.load(Ordering::SeqCst) == id {
+                        self.write_checkpoint(id);
+                    } else {
+                        self.parked.fetch_add(1, Ordering::SeqCst);
+                        while ckpt.paused.load(Ordering::SeqCst) && !self.meter.is_stopped() {
+                            self.beat(id);
+                            std::thread::yield_now();
+                        }
+                        self.parked.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    continue;
+                }
+            }
             if self.meter.is_stopped() {
+                break;
+            }
+            if faults.should_wedge(id, processed) {
+                // Injected wedge: no progress and *no heartbeats*, like a
+                // runaway loop or a hung syscall. Only the watchdog, a
+                // budget trip or cancellation releases the worker.
+                while !self.meter.is_stopped() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
                 break;
             }
             let Some(key) = self.grab(id, faults.adversarial_schedule) else {
@@ -498,14 +645,124 @@ impl Engine<'_> {
                     if stop == Stop::Cancelled {
                         self.cancelled.store(true, Ordering::SeqCst);
                     }
-                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    // Put the grabbed key back (and keep its pending
+                    // credit) so the frontier stays consistent for the
+                    // final checkpoint.
+                    lock_shard(&self.deques[id]).push_back(key);
                     break;
                 }
             }
-            self.expand(id, key, &mut trees, &mut scratch);
+            self.expand(id, key, &mut scratch);
             self.pending.fetch_sub(1, Ordering::SeqCst);
         }
-        trees
+    }
+
+    /// The elected writer's side of the checkpoint protocol: wait for
+    /// the rest of the crew to park (or exit), freeze a consistent
+    /// snapshot, write it, unpause.
+    fn write_checkpoint(&self, id: usize) {
+        let ckpt = self.ckpt.as_ref().expect("writer elected without ctl");
+        loop {
+            let exited_others = self
+                .exited
+                .iter()
+                .enumerate()
+                .filter(|&(w, e)| w != id && e.load(Ordering::SeqCst))
+                .count();
+            if self.parked.load(Ordering::SeqCst) + exited_others >= self.exited.len() - 1 {
+                break;
+            }
+            if self.meter.is_stopped() {
+                // A stop fired while assembling the safepoint (stall,
+                // cancel, budget): abandon this checkpoint — the
+                // coordinator writes the final one — and release the
+                // parked workers so they can drain.
+                ckpt.writer.store(usize::MAX, Ordering::SeqCst);
+                ckpt.paused.store(false, Ordering::SeqCst);
+                return;
+            }
+            self.beat(id);
+            std::thread::yield_now();
+        }
+        match self.freeze().save(&ckpt.path) {
+            Err(e) => {
+                lock_shard(&ckpt.io_error).get_or_insert(e);
+                self.meter.request_stop();
+            }
+            Ok(()) => {
+                let done = ckpt.seq.fetch_add(1, Ordering::SeqCst) + 1;
+                if ckpt.kill_at == Some(done) {
+                    // Injected SIGKILL: stop here, leaving this
+                    // checkpoint as the on-disk state to resume from.
+                    ckpt.killed.store(true, Ordering::SeqCst);
+                    self.meter.request_stop();
+                }
+            }
+        }
+        ckpt.writer.store(usize::MAX, Ordering::SeqCst);
+        ckpt.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Freezes the engine into a snapshot. Only sound at a safepoint —
+    /// every other worker parked or exited, none holding an in-flight
+    /// key — or after the crew has joined.
+    fn freeze(&self) -> ExplorerSnapshot {
+        let mut visited: Vec<u64> = Vec::new();
+        for shard in &self.visited {
+            visited.extend(lock_shard(shard).iter().copied());
+        }
+        visited.sort_unstable();
+        let mut frontier: Vec<u64> = Vec::new();
+        for dq in &self.deques {
+            frontier.extend(lock_shard(dq).iter().copied());
+        }
+        frontier.extend(lock_shard(&self.injector).iter().copied());
+        frontier.sort_unstable();
+        ExplorerSnapshot::capture(
+            &self.interner,
+            self.fingerprint,
+            self.terminals.load(Ordering::SeqCst) as u64,
+            self.deadlock_free.load(Ordering::SeqCst),
+            self.meter.ticks(),
+            visited,
+            frontier,
+        )
+    }
+
+    /// The watchdog thread: samples every live worker's heartbeat; a
+    /// heartbeat frozen for `stall_after` on a worker that has not
+    /// exited is a stall — record it, cancel the crew, return.
+    fn watchdog(&self, spec: WatchdogSpec) {
+        let n = self.heartbeats.len();
+        let mut last: Vec<u64> = (0..n)
+            .map(|i| self.heartbeats[i].load(Ordering::Relaxed))
+            .collect();
+        let mut fresh_at: Vec<Instant> = vec![Instant::now(); n];
+        loop {
+            std::thread::sleep(spec.poll);
+            let mut all_exited = true;
+            for i in 0..n {
+                if self.exited[i].load(Ordering::SeqCst) {
+                    continue;
+                }
+                all_exited = false;
+                let now = self.heartbeats[i].load(Ordering::Relaxed);
+                if now != last[i] {
+                    last[i] = now;
+                    fresh_at[i] = Instant::now();
+                } else {
+                    let frozen = fresh_at[i].elapsed();
+                    if frozen >= spec.stall_after {
+                        lock_shard(&self.stalled).get_or_insert((i, frozen.as_millis() as u64));
+                        self.meter.request_stop();
+                        return;
+                    }
+                }
+            }
+            if all_exited || self.meter.is_stopped() {
+                return;
+            }
+        }
     }
 }
 
@@ -528,11 +785,47 @@ pub fn explore_parallel_budgeted(
     cancel: &CancelToken,
     faults: &FaultPlan,
 ) -> Result<Exploration, Fx10Error> {
+    explore_parallel_durable(
+        p,
+        input,
+        config,
+        threads,
+        budget,
+        cancel,
+        faults,
+        Durability::default(),
+    )
+}
+
+/// [`explore_parallel_budgeted`] plus the durability/supervision layer:
+/// periodic consistent checkpoints, resume-from-snapshot, and a
+/// heartbeat watchdog (see [`Durability`]).
+///
+/// Error precedence after the crew joins: a worker panic wins over a
+/// stall, a stall ([`Fx10Error::WorkerStalled`]) over an injected kill,
+/// a kill (reported as [`Fx10Error::Cancelled`]) over a checkpoint I/O
+/// failure, and that over plain cancellation. A *final* checkpoint is
+/// written on every path except a panic (the panicking worker dropped
+/// its in-flight state, so the frontier would be inconsistent) and an
+/// injected kill (the fault simulates SIGKILL — the on-disk snapshot
+/// must stay exactly the one the kill interrupted).
+#[allow(clippy::too_many_arguments)]
+pub fn explore_parallel_durable(
+    p: &Program,
+    input: &[i64],
+    config: ExploreConfig,
+    threads: usize,
+    budget: Budget,
+    cancel: &CancelToken,
+    faults: &FaultPlan,
+    durability: Durability<'_>,
+) -> Result<Exploration, Fx10Error> {
     cancel.check()?;
     let threads = threads.max(1);
     let max_states = faults
         .effective_max_states(budget.max_states)
         .map_or(config.max_states, |b| b.min(config.max_states));
+    let fingerprint = snapshot::fingerprint(p, input, &config);
 
     let engine = Engine {
         p,
@@ -548,69 +841,153 @@ pub fn explore_parallel_budgeted(
         terminals: AtomicUsize::new(0),
         cancelled: AtomicBool::new(false),
         panic: Mutex::new(None),
+        fingerprint,
+        heartbeats: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        exited: (0..threads).map(|_| AtomicBool::new(false)).collect(),
+        parked: AtomicUsize::new(0),
+        stalled: Mutex::new(None),
+        ckpt: durability
+            .checkpoint
+            .map(|spec| CkptCtl::new(spec, faults.kill_at_checkpoint)),
     };
 
-    let a0 = engine
-        .interner
-        .intern_array(ArrayState::with_input(p, input).cells().to_vec());
-    let t0 = {
-        let t = engine.interner.intern_tree(&initial_tree(p));
-        if config.normalize_admin {
-            engine.interner.normalized(t)
+    let run_crew = if let Some(snap) = durability.resume {
+        if snap.fingerprint != fingerprint {
+            return Err(Fx10Error::Snapshot {
+                message: "snapshot does not match this program, input and configuration \
+                          (fingerprint mismatch)"
+                    .into(),
+            });
+        }
+        let (_smap, tmap, amap) = snap.restore(&engine.interner);
+        let map_key = |k: u64| {
+            let (a, t) = state_parts(k);
+            state_key(ArrayId(amap[a.0 as usize]), TreeId(tmap[t.0 as usize]))
+        };
+        let mut restored_bytes = 0usize;
+        for &k in &snap.visited {
+            let nk = map_key(k);
+            lock_shard(&engine.visited[shard_idx(nk)]).insert(nk);
+            restored_bytes += engine.state_bytes(state_parts(nk).0);
+        }
+        engine
+            .terminals
+            .store(snap.terminals as usize, Ordering::SeqCst);
+        engine
+            .deadlock_free
+            .store(snap.deadlock_free, Ordering::SeqCst);
+        engine.meter.charge_ticks(snap.ticks);
+        // Restored states keep their credits; overflowing the (new)
+        // budget marks the run truncated from the start.
+        let fits = engine.meter.restore_states(snap.visited.len(), max_states)
+            && engine.meter.try_grow_bytes(restored_bytes);
+        for (i, &k) in snap.frontier.iter().enumerate() {
+            lock_shard(&engine.deques[i % threads]).push_back(map_key(k));
+        }
+        engine.pending.store(snap.frontier.len(), Ordering::SeqCst);
+        fits && !snap.frontier.is_empty()
+    } else {
+        let a0 = engine
+            .interner
+            .intern_array(ArrayState::with_input(p, input).cells().to_vec());
+        let t0 = {
+            let t = engine.interner.intern_tree(&initial_tree(p));
+            if config.normalize_admin {
+                engine.interner.normalized(t)
+            } else {
+                t
+            }
+        };
+        let seed = state_key(a0, t0);
+        if engine.meter.try_reserve_states(1, max_states)
+            && engine.meter.try_grow_bytes(engine.state_bytes(a0))
+        {
+            lock_shard(&engine.visited[shard_idx(seed)]).insert(seed);
+            engine.pending.store(1, Ordering::SeqCst);
+            lock_shard(&engine.injector).push_back(seed);
+            true
         } else {
-            t
+            false
         }
     };
-    let seed = state_key(a0, t0);
-    let mut trees: HashSet<TreeId> = HashSet::new();
 
-    if engine.meter.try_reserve_states(1, max_states)
-        && engine.meter.try_grow_bytes(engine.state_bytes(a0))
-    {
-        lock_shard(&engine.visited[shard_idx(seed)]).insert(seed);
-        trees.insert(t0);
-        engine.pending.store(1, Ordering::SeqCst);
-        lock_shard(&engine.injector).push_back(seed);
-
+    if run_crew {
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
             for worker_id in 0..threads {
                 let engine = &engine;
-                handles.push(scope.spawn(move || {
-                    match catch_unwind(AssertUnwindSafe(|| engine.worker(worker_id, faults))) {
-                        Ok(local) => local,
-                        Err(payload) => {
-                            // Contain the panic: record it and tell the
-                            // crew to drain out (the in-flight pending
-                            // credit is moot once the stop flag is up).
-                            lock_shard(&engine.panic).get_or_insert_with(|| {
-                                (worker_id, fx10_robust::panic_message(payload.as_ref()))
-                            });
-                            engine.meter.request_stop();
-                            HashSet::new()
-                        }
+                scope.spawn(move || {
+                    if let Err(payload) =
+                        catch_unwind(AssertUnwindSafe(|| engine.worker(worker_id, faults)))
+                    {
+                        // Contain the panic: record it and tell the crew
+                        // to drain out (the in-flight pending credit is
+                        // moot once the stop flag is up).
+                        lock_shard(&engine.panic).get_or_insert_with(|| {
+                            (worker_id, fx10_robust::panic_message(payload.as_ref()))
+                        });
+                        engine.meter.request_stop();
                     }
-                }));
+                    engine.exited[worker_id].store(true, Ordering::SeqCst);
+                });
             }
-            for h in handles {
-                // Worker closures never unwind (the catch is inside), so
-                // the join itself cannot fail.
-                trees.extend(h.join().unwrap_or_default());
+            if let Some(spec) = durability.watchdog {
+                let engine = &engine;
+                scope.spawn(move || engine.watchdog(spec));
             }
         });
     }
 
-    if let Some((worker, message)) = lock_shard(&engine.panic).take() {
+    let panicked = lock_shard(&engine.panic).take();
+    let stalled = lock_shard(&engine.stalled).take();
+    let killed = engine
+        .ckpt
+        .as_ref()
+        .is_some_and(|c| c.killed.load(Ordering::SeqCst));
+
+    // Final checkpoint: everything except a panic (inconsistent
+    // frontier) and an injected kill (must preserve the interrupted
+    // snapshot) gets one, including the stall / deadline / cancel paths
+    // — that is what makes the error *recoverable*.
+    if let Some(ckpt) = &engine.ckpt {
+        if panicked.is_none() && !killed {
+            if let Err(e) = engine.freeze().save(&ckpt.path) {
+                lock_shard(&ckpt.io_error).get_or_insert(e);
+            }
+        }
+    }
+
+    if let Some((worker, message)) = panicked {
         return Err(Fx10Error::WorkerPanicked { worker, message });
+    }
+    if let Some((worker, stalled_ms)) = stalled {
+        return Err(Fx10Error::WorkerStalled { worker, stalled_ms });
+    }
+    if killed {
+        return Err(Fx10Error::Cancelled);
+    }
+    if let Some(e) = engine
+        .ckpt
+        .as_ref()
+        .and_then(|c| lock_shard(&c.io_error).take())
+    {
+        return Err(e);
     }
     if engine.cancelled.load(Ordering::SeqCst) || cancel.is_cancelled() {
         return Err(Fx10Error::Cancelled);
     }
 
     // Dynamic MHP over every *discovered* state (queued-but-unexpanded
-    // states included, exactly like the sequential engine's queue drain),
-    // memoized per distinct tree id.
-    let mhp = engine.interner.parallel_of_trees(trees.iter().copied());
+    // states included, exactly like the sequential engine's queue
+    // drain), memoized per distinct tree id. The visited set is exactly
+    // the admitted states, resumed or fresh, so deriving the tree set
+    // from it covers both uniformly.
+    let mut tree_ids: HashSet<TreeId> = HashSet::new();
+    for shard in &engine.visited {
+        for &k in lock_shard(shard).iter() {
+            tree_ids.insert(state_parts(k).1);
+        }
+    }
+    let mhp = engine.interner.parallel_of_trees(tree_ids.iter().copied());
 
     let state_digests = config.collect_states.then(|| {
         engine

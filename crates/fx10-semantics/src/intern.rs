@@ -36,7 +36,7 @@
 
 use crate::parallel::{pair, LabelPair};
 use crate::tree::Tree;
-use fx10_syntax::{InstrKind, Label, Program, Stmt};
+use fx10_syntax::{Instr, InstrKind, Label, Program, Stmt};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -291,6 +291,19 @@ impl Interner {
             1 => None,
             t => Some(StmtId((t - 2) as u32)),
         }
+    }
+
+    /// Re-interns a statement decoded from a snapshot as `head` followed
+    /// by the already-restored `tail` statement, preserving the O(1)
+    /// tail link. Snapshots store statements in interning order, so the
+    /// tail's id is always available before its referrer is restored.
+    pub fn restore_stmt(&self, head: Instr, tail: Option<StmtId>) -> StmtId {
+        let mut instrs = vec![head];
+        if let Some(t) = tail {
+            instrs.extend(self.stmt(t).instrs().iter().cloned());
+        }
+        let s = Stmt::new(instrs).expect("non-empty by construction");
+        StmtId(self.intern_stmt_with_tail(s, tail.map(|t| t.0)))
     }
 
     // -- trees --------------------------------------------------------------

@@ -29,15 +29,18 @@ pub mod explore;
 pub mod intern;
 pub mod interp;
 pub mod parallel;
+pub mod snapshot;
 pub mod state;
 pub mod step;
 pub mod tree;
 
 pub use explore::{
     explore, explore_budgeted, explore_interned_budgeted, explore_parallel,
-    explore_parallel_budgeted, Exploration, ExploreConfig,
+    explore_parallel_budgeted, explore_parallel_durable, CheckpointSpec, Durability, Exploration,
+    ExploreConfig, WatchdogSpec,
 };
 pub use intern::{ArrayId, Interner, StmtId, TreeId};
 pub use interp::{run, run_budgeted, run_result, RunOutcome, Scheduler};
+pub use snapshot::{fingerprint as snapshot_fingerprint, ExplorerSnapshot};
 pub use state::ArrayState;
 pub use tree::Tree;

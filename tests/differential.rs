@@ -17,12 +17,25 @@
 //! `∥`-symmetry deduplication on the `programs/*.fx10` fixtures.
 
 use fx10::robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error, PanicFault};
-use fx10::semantics::{explore_budgeted, explore_parallel_budgeted, Exploration, ExploreConfig};
+use fx10::semantics::{
+    explore_budgeted, explore_parallel_budgeted, explore_parallel_durable, CheckpointSpec,
+    Durability, Exploration, ExploreConfig, ExplorerSnapshot,
+};
 use fx10::suite::{random_fx10, RandomConfig};
 use fx10::syntax::Program;
 use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const JOBS: [usize; 3] = [1, 2, 8];
+
+/// A collision-free scratch path for snapshot files (tests run in
+/// parallel within one process and across processes).
+fn temp_snap(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fx10-{tag}-{}-{n}.fxsnap", std::process::id()))
+}
 
 fn digest_config() -> ExploreConfig {
     ExploreConfig {
@@ -195,17 +208,20 @@ fn assert_panicked_as(victim: usize, err: Fx10Error) {
 
 #[test]
 fn injected_panics_surface_as_typed_errors_with_exit_code_4() {
-    let p = load("programs/fork_join.fx10");
-
     // jobs = 1 is fully deterministic: the only worker must process the
     // seed state, so the fault always fires.
+    let p = load("programs/fork_join.fx10");
     assert_panicked_as(0, explore_with_panic_fault(&p, 1, 0, false).unwrap_err());
 
     // With a crew, the victim can benignly lose the race for work (the
     // other workers drain the space first); an Ok result is then a
-    // complete exploration. Retry until the fault lands — the contract
-    // under test is that when it does, it surfaces as a typed error with
-    // exit code 4, never a hang or an abort.
+    // complete exploration. The small fixtures drain faster than a
+    // second thread reliably spawns on a fast machine, so the crewed
+    // cases use the wide chaos fixture (~76k states): every worker gets
+    // work, and the contract under test — the fault surfaces as a typed
+    // error with exit code 4, never a hang or an abort — is exercised on
+    // the first or second run. The retry loop stays as a safety margin.
+    let p = load("programs/chaos_wide.fx10");
     for (jobs, victim, adversarial) in [(2usize, 1usize, false), (4, 2, true), (8, 0, false)] {
         let mut fired = false;
         for _ in 0..50 {
@@ -259,6 +275,122 @@ fn shared_state_budget_bounds_the_crew_within_one_batch_per_worker() {
     }
 }
 
+/// The tentpole pin: interrupt the durable explorer at an arbitrary
+/// checkpoint (the injected kill is the SIGKILL stand-in), resume from
+/// the on-disk snapshot, and require the state digests, MHP pairs and
+/// verdicts to be **byte-identical** to an uninterrupted run — at every
+/// `--jobs` value.
+#[test]
+fn kill_and_resume_is_byte_identical_at_every_jobs_value() {
+    let p = load("programs/fork_join.fx10");
+    let want = reference(&p, digest_config());
+    for jobs in JOBS {
+        for kill_at in [1u64, 2] {
+            let label = format!("jobs={jobs} kill_at={kill_at}");
+            let path = temp_snap("kill");
+            let res = explore_parallel_durable(
+                &p,
+                &[],
+                digest_config(),
+                jobs,
+                Budget::unlimited(),
+                &CancelToken::new(),
+                &FaultPlan {
+                    kill_at_checkpoint: Some(kill_at),
+                    ..FaultPlan::none()
+                },
+                Durability {
+                    checkpoint: Some(CheckpointSpec {
+                        path: path.clone(),
+                        every: 7,
+                    }),
+                    resume: None,
+                    watchdog: None,
+                },
+            );
+            match res {
+                Err(Fx10Error::Cancelled) => {
+                    // The kill landed: the interrupted snapshot must
+                    // resume to exactly the uninterrupted answer.
+                    let snap = ExplorerSnapshot::load(&path).expect("snapshot on disk");
+                    let got = explore_parallel_durable(
+                        &p,
+                        &[],
+                        digest_config(),
+                        jobs,
+                        Budget::unlimited(),
+                        &CancelToken::new(),
+                        &FaultPlan::none(),
+                        Durability {
+                            checkpoint: None,
+                            resume: Some(&snap),
+                            watchdog: None,
+                        },
+                    )
+                    .expect("resume must succeed");
+                    assert_identical(&label, &want, &got);
+                }
+                // The run can finish before the kill-th checkpoint (a
+                // race the fault plan permits) — it must then simply be
+                // a complete, correct run.
+                Ok(got) => assert_identical(&format!("{label} (kill lost)"), &want, &got),
+                Err(e) => panic!("{label}: unexpected error {e:?}"),
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Chained interruptions: kill at checkpoint 1, resume with checkpoints
+/// still on, kill again, resume again — the final answer must still be
+/// byte-identical to the uninterrupted reference.
+#[test]
+fn double_kill_and_resume_still_converges() {
+    let p = load("programs/fork_join.fx10");
+    let want = reference(&p, digest_config());
+    let path = temp_snap("kill2");
+    let kill = FaultPlan {
+        kill_at_checkpoint: Some(1),
+        ..FaultPlan::none()
+    };
+    let clean = FaultPlan::none();
+    let spec = CheckpointSpec {
+        path: path.clone(),
+        every: 5,
+    };
+    let mut snap = None;
+    let mut finished = None;
+    for round in 0..16 {
+        let res = explore_parallel_durable(
+            &p,
+            &[],
+            digest_config(),
+            2,
+            Budget::unlimited(),
+            &CancelToken::new(),
+            if round < 2 { &kill } else { &clean },
+            Durability {
+                checkpoint: Some(spec.clone()),
+                resume: snap.as_ref(),
+                watchdog: None,
+            },
+        );
+        match res {
+            Err(Fx10Error::Cancelled) => {
+                snap = Some(ExplorerSnapshot::load(&path).expect("snapshot on disk"));
+            }
+            Ok(got) => {
+                finished = Some(got);
+                break;
+            }
+            Err(e) => panic!("round {round}: unexpected error {e:?}"),
+        }
+    }
+    let got = finished.expect("two kills then a clean run must finish");
+    assert_identical("double kill", &want, &got);
+    let _ = std::fs::remove_file(&path);
+}
+
 fn rand_cfg(seed: u64, methods: usize, stmts: usize, depth: usize) -> RandomConfig {
     RandomConfig {
         methods,
@@ -307,6 +439,60 @@ proptest! {
         let verdict_par = a.check_soundness(many.mhp.iter()).is_sound();
         prop_assert_eq!(verdict_ref, verdict_par);
         prop_assert!(verdict_ref, "Theorem 2 must hold on the ground truth");
+    }
+
+    /// Satellite: inject a checkpoint → kill → resume cycle into the
+    /// parallel engine on random programs; the stitched-together run
+    /// must still equal the sequential oracle exactly.
+    #[test]
+    fn random_programs_survive_a_checkpoint_kill_resume_cycle(
+        seed in 0u64..10_000,
+        stmts in 1usize..5,
+        depth in 0usize..3,
+        jobs_idx in 0usize..3,
+        every in 1usize..6,
+    ) {
+        let p = random_fx10(rand_cfg(seed, 2, stmts, depth));
+        let config = ExploreConfig {
+            max_states: 20_000,
+            ..digest_config()
+        };
+        let cloned = reference(&p, config);
+        prop_assume!(!cloned.truncated);
+        let jobs = JOBS[jobs_idx];
+        let path = temp_snap("prop");
+        let res = explore_parallel_durable(
+            &p, &[], config, jobs,
+            Budget::unlimited(), &CancelToken::new(),
+            &FaultPlan { kill_at_checkpoint: Some(1), ..FaultPlan::none() },
+            Durability {
+                checkpoint: Some(CheckpointSpec { path: path.clone(), every }),
+                resume: None,
+                watchdog: None,
+            },
+        );
+        let got = match res {
+            Err(Fx10Error::Cancelled) => {
+                let snap = ExplorerSnapshot::load(&path).expect("snapshot on disk");
+                explore_parallel_durable(
+                    &p, &[], config, jobs,
+                    Budget::unlimited(), &CancelToken::new(), &FaultPlan::none(),
+                    Durability { checkpoint: None, resume: Some(&snap), watchdog: None },
+                ).expect("resume must succeed")
+            }
+            // Small programs can finish before the first checkpoint.
+            Ok(e) => e,
+            Err(e) => {
+                let _ = std::fs::remove_file(&path);
+                panic!("unexpected error: {e:?}");
+            }
+        };
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(&cloned.state_digests, &got.state_digests);
+        prop_assert_eq!(&cloned.mhp, &got.mhp);
+        prop_assert_eq!(cloned.visited, got.visited);
+        prop_assert_eq!(cloned.terminals, got.terminals);
+        prop_assert_eq!(cloned.deadlock_free, got.deadlock_free);
     }
 
     /// Canonical dedup on random programs: verdict-preserving, never

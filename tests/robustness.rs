@@ -16,14 +16,17 @@
 //!   over-approximation (§7) of the context-sensitive analysis.
 
 use fx10::analysis::{
-    analyze_with, analyze_with_budget, analyze_with_fallback, AnalysisPath, Mode, SolverKind,
+    analyze_with, analyze_with_budget, analyze_with_fallback, AnalysisPath, LadderRung, Mode,
+    SolverKind, Supervisor,
 };
 use fx10::robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error, PanicFault};
 use fx10::semantics::{
-    explore, explore_budgeted, explore_parallel_budgeted, run_budgeted, ExploreConfig, Scheduler,
+    explore, explore_budgeted, explore_parallel_budgeted, explore_parallel_durable, run_budgeted,
+    CheckpointSpec, Durability, ExploreConfig, ExplorerSnapshot, Scheduler, WatchdogSpec,
 };
 use fx10::suite::{random_fx10, RandomConfig};
 use proptest::prelude::*;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn cfg(seed: u64, methods: usize, stmts: usize, depth: usize) -> RandomConfig {
@@ -409,4 +412,146 @@ fn program_without_main_degrades_to_the_empty_analysis() {
     let e = explore(&p, &[], small_explore());
     assert!(e.deadlock_free);
     assert!(e.mhp.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Durable exploration: watchdog and degradation-ladder integration
+// ---------------------------------------------------------------------------
+
+fn temp_snap(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fx10-{tag}-{}-{n}.fxsnap", std::process::id()))
+}
+
+/// A wedged worker (no heartbeat, no progress, no exit) is detected by
+/// the watchdog and surfaced as a typed `WorkerStalled` for exactly that
+/// worker — and the stall still leaves a usable final checkpoint behind:
+/// resuming from it without the fault completes to the full reference.
+#[test]
+fn watchdog_converts_a_wedged_worker_into_a_typed_stall() {
+    let p = fork_join();
+    let path = temp_snap("robust-wedge");
+    let faults = FaultPlan {
+        wedge_worker: Some(PanicFault {
+            worker: 0,
+            after_states: 0,
+        }),
+        ..FaultPlan::none()
+    };
+    let r = explore_parallel_durable(
+        &p,
+        &[],
+        small_explore(),
+        2,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        &faults,
+        Durability {
+            checkpoint: Some(CheckpointSpec {
+                path: path.clone(),
+                every: 5,
+            }),
+            resume: None,
+            watchdog: Some(WatchdogSpec {
+                stall_after: Duration::from_millis(150),
+                poll: Duration::from_millis(10),
+            }),
+        },
+    );
+    match r {
+        Err(Fx10Error::WorkerStalled { worker, stalled_ms }) => {
+            assert_eq!(worker, 0);
+            assert!(stalled_ms >= 150, "frozen for only {stalled_ms} ms");
+        }
+        other => panic!("expected WorkerStalled, got {other:?}"),
+    }
+    let snap = ExplorerSnapshot::load(&path).expect("a stall must leave a final checkpoint");
+    let resumed = explore_parallel_durable(
+        &p,
+        &[],
+        small_explore(),
+        2,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        &FaultPlan::none(),
+        Durability {
+            checkpoint: None,
+            resume: Some(&snap),
+            watchdog: None,
+        },
+    )
+    .expect("resuming the post-stall checkpoint completes");
+    let reference = explore(&p, &[], small_explore());
+    assert_eq!(resumed.visited, reference.visited);
+    assert_eq!(resumed.mhp, reference.mhp);
+    assert_eq!(resumed.deadlock_free, reference.deadlock_free);
+    assert_eq!(resumed.terminals, reference.terminals);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A wedge that defeats every parallel attempt sends the supervisor down
+/// to the sequential rung, which still answers with the *exact* dynamic
+/// MHP relation — and the trace records the stalls and backoffs.
+#[test]
+fn supervisor_answers_on_the_sequential_rung_under_a_persistent_wedge() {
+    let p = fork_join();
+    let faults = FaultPlan {
+        wedge_worker: Some(PanicFault {
+            worker: 0,
+            after_states: 0,
+        }),
+        ..FaultPlan::none()
+    };
+    let sup = Supervisor {
+        jobs: 2,
+        max_retries: 1,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        stall_after: Duration::from_millis(150),
+        poll: Duration::from_millis(10),
+        ..Supervisor::default()
+    };
+    let ans = sup
+        .run(&p, &[], &CancelToken::new(), &faults)
+        .expect("the ladder always answers when nobody cancels");
+    assert_eq!(ans.rung, LadderRung::SequentialExplore);
+    assert!(ans.rung.is_dynamic());
+    assert_eq!(ans.deadlock_free, Some(true));
+    let reference = explore(&p, &[], ExploreConfig::default());
+    assert_eq!(ans.pairs, reference.mhp);
+    assert!(
+        ans.trace.iter().any(|l| l.contains("stalled")),
+        "trace must record the stall: {:?}",
+        ans.trace
+    );
+}
+
+/// When dynamic exploration is infeasible within the state budget the
+/// supervisor descends to the static rungs, whose answer soundly
+/// over-approximates the dynamic relation (Theorem 2).
+#[test]
+fn supervisor_descends_to_a_static_rung_when_exploration_is_infeasible() {
+    let p = fork_join();
+    let sup = Supervisor {
+        explore_config: ExploreConfig {
+            max_states: 2,
+            ..ExploreConfig::default()
+        },
+        ..Supervisor::default()
+    };
+    let ans = sup
+        .run(&p, &[], &CancelToken::new(), &FaultPlan::none())
+        .expect("the static rungs never refuse");
+    assert_eq!(ans.rung, LadderRung::ContextSensitive);
+    assert!(!ans.rung.is_dynamic());
+    assert_eq!(ans.deadlock_free, None);
+    let reference = explore(&p, &[], ExploreConfig::default());
+    for &(x, y) in &reference.mhp {
+        assert!(
+            ans.pairs.contains(&(x.min(y), x.max(y))),
+            "static rung must cover dynamic pair ({x}, {y})"
+        );
+    }
 }
