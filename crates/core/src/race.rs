@@ -40,6 +40,14 @@ pub struct Race {
     pub second: Access,
 }
 
+impl Race {
+    /// True when both sides write the cell (write-write race); false for
+    /// read-write.
+    pub fn is_write_write(&self) -> bool {
+        self.first.kind == AccessKind::Write && self.second.kind == AccessKind::Write
+    }
+}
+
 /// Collects every array access of the program.
 pub fn accesses(p: &Program) -> Vec<Access> {
     let mut out = Vec::new();
@@ -77,8 +85,21 @@ pub fn accesses(p: &Program) -> Vec<Access> {
 /// pair is in `M`, hence reported here. Precision likewise: a false race
 /// requires an MHP false positive (or an infeasible same-cell path).
 pub fn detect_races(p: &Program, a: &Analysis) -> Vec<Race> {
-    let acc = accesses(p);
-    let mut out = Vec::new();
+    detect_races_with(&accesses(p), |x, y| a.may_happen_in_parallel(x, y))
+}
+
+/// The race-pair core, generic over the MHP oracle so every analysis
+/// that answers "may `x` and `y` happen in parallel?" — context-sensitive,
+/// context-insensitive, the clocked phase-refined MHP, or the dynamic
+/// explorer's exact relation — shares one classification path.
+///
+/// Output is deterministic and deduplicated: sorted by
+/// `(first.label, second.label, index)`, symmetric duplicates dropped.
+/// When one instruction both reads and writes the contended cell (an
+/// `a[d] = a[d] + 1` against a writer), the write-write classification
+/// wins: it is the stronger finding for the same instruction pair.
+pub fn detect_races_with(acc: &[Access], mhp: impl Fn(Label, Label) -> bool) -> Vec<Race> {
+    let mut out: Vec<Race> = Vec::new();
     for (i, x) in acc.iter().enumerate() {
         for y in acc.iter().skip(i) {
             if x.index != y.index {
@@ -87,16 +108,10 @@ pub fn detect_races(p: &Program, a: &Analysis) -> Vec<Race> {
             if x.kind == AccessKind::Read && y.kind == AccessKind::Read {
                 continue;
             }
-            // Same-label pairs race only if the label self-overlaps.
-            if x.label == y.label {
-                // Skip the read/write aliasing of a single instruction
-                // with itself unless it can overlap another instance.
-                if !a.may_happen_in_parallel(x.label, y.label) {
-                    continue;
-                }
-                // A lone `a[d] = e` instance cannot race with itself; a
-                // self-MHP label means two instances, which do race.
-            } else if !a.may_happen_in_parallel(x.label, y.label) {
+            // Same-label pairs race only if the label self-overlaps: a
+            // lone instance cannot race with itself, but a self-MHP label
+            // means two instances, which do.
+            if !mhp(x.label, y.label) {
                 continue;
             }
             let (first, second) = if x.label <= y.label {
@@ -104,16 +119,20 @@ pub fn detect_races(p: &Program, a: &Analysis) -> Vec<Race> {
             } else {
                 (*y, *x)
             };
-            if out.iter().any(|r: &Race| {
-                r.first.label == first.label
-                    && r.second.label == second.label
-                    && r.first.index == first.index
-            }) {
-                continue;
-            }
             out.push(Race { first, second });
         }
     }
+    // Deterministic order, strongest kind first within a (pair, cell)
+    // group so the dedup below keeps write-write over read-write.
+    out.sort_by_key(|r| {
+        (
+            r.first.label,
+            r.second.label,
+            r.first.index,
+            std::cmp::Reverse((r.first.kind, r.second.kind)),
+        )
+    });
+    out.dedup_by_key(|r| (r.first.label, r.second.label, r.first.index));
     out
 }
 
@@ -193,6 +212,58 @@ mod tests {
                 .any(|r| r.first.label == r.second.label && r.first.index == 0),
             "self race on a[0] expected: {races:?}"
         );
+    }
+
+    #[test]
+    fn output_is_sorted_and_deduplicated() {
+        // Three parallel writers to a[0] plus a read-modify-write: the
+        // report must come out sorted by (first, second, index) with one
+        // entry per (pair, cell), write-write winning classification.
+        let p = Program::parse(
+            "def main() {\n\
+               async { a[0] = a[0] + 1; }\n\
+               async { a[0] = 2; }\n\
+               a[0] = 3;\n\
+             }",
+        )
+        .unwrap();
+        let races = detect_races(&p, &analyze(&p));
+        let keys: Vec<_> = races
+            .iter()
+            .map(|r| (r.first.label, r.second.label, r.first.index))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "sorted and free of duplicates: {races:?}");
+        // The rmw instruction both reads and writes a[0]; against another
+        // writer the write-write classification must win.
+        for r in &races {
+            assert!(
+                r.is_write_write(),
+                "all pairs here contain two writers: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generic_pair_logic_honors_the_oracle() {
+        let acc = [
+            Access {
+                label: Label(0),
+                index: 0,
+                kind: AccessKind::Write,
+            },
+            Access {
+                label: Label(1),
+                index: 0,
+                kind: AccessKind::Write,
+            },
+        ];
+        // With self-overlap allowed, the self-pairs are reported too.
+        assert_eq!(detect_races_with(&acc, |_, _| true).len(), 3);
+        assert_eq!(detect_races_with(&acc, |a, b| a != b).len(), 1);
+        assert!(detect_races_with(&acc, |_, _| false).is_empty());
     }
 
     #[test]

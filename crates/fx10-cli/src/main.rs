@@ -8,6 +8,8 @@
 //!              [--checkpoint F [--checkpoint-every N]] [--resume F]
 //! fx10 mhp     <file.fx10> [--ci]             static MHP pairs
 //! fx10 race    <file.fx10>                    MHP-based race report
+//! fx10 lint    <file.fx10> [--format text|json|sarif] [--deny CODE] [--allow CODE]
+//!              [--witness-states N] [--input v,v,...]  full diagnostics suite
 //! fx10 check   <file.fx10> [--ladder]         soundness: dynamic ⊆ static
 //! fx10 x10     <file.x10>  [--ci]             X10-Lite condensed analysis
 //! fx10 bench   <name|all>                     run a suite benchmark
@@ -44,6 +46,12 @@
 //! | 2    | usage error / invalid snapshot                    |
 //! | 3    | budget exhausted — result partial / inconclusive  |
 //! | 4    | cancelled, or a worker thread panicked or stalled |
+//!
+//! `lint` layers the diagnostic suite from `fx10-lints` on the same
+//! contract: `--deny CODE` exits 1 when any matching finding survives
+//! `--allow` filtering (a denied finding outranks a budget-cut exit 3);
+//! selectors match exact codes, dash-boundary groups (`race` matches
+//! `race-write-write`), or `all`. Unknown selectors are usage errors.
 
 use fx10_core::{analyze_with_budget, analyze_with_fallback, AnalysisPath, Supervisor};
 use fx10_robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error, PanicFault};
@@ -58,7 +66,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fx10 <parse|run|explore|mhp|race|check|x10|bench> <file|name> [options]\n\
+        "usage: fx10 <parse|run|explore|mhp|race|lint|check|x10|bench> <file|name> [options]\n\
          options:\n\
            --sched <leftmost|rightmost|random[:seed]>   scheduler (run)\n\
            --input v,v,...                              initial array (run/explore/check)\n\
@@ -69,6 +77,10 @@ fn usage() -> ExitCode {
            --checkpoint-every N                         states between snapshots (explore)\n\
            --resume <file>                              resume from a snapshot (explore)\n\
            --ladder                                     supervised degradation ladder (check)\n\
+           --format <text|json|sarif>                   lint report format (lint)\n\
+           --deny <code>                                exit 1 on matching findings (lint)\n\
+           --allow <code>                               suppress matching findings (lint)\n\
+           --witness-states N                           witness search cap, 0 = off (lint)\n\
            --ci                                         context-insensitive analysis\n\
            --solver <naive|worklist|scc|scc-par>        fixed-point algorithm\n\
            --places                                     same-place MHP refinement (x10)\n\
@@ -80,6 +92,14 @@ fn usage() -> ExitCode {
                      4 cancelled/panicked/stalled"
     );
     ExitCode::from(2)
+}
+
+/// Output format for `fx10 lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
+    Sarif,
 }
 
 struct Opts {
@@ -99,6 +119,10 @@ struct Opts {
     checkpoint_every: usize,
     resume: Option<String>,
     ladder: bool,
+    format: LintFormat,
+    deny: Vec<String>,
+    allow: Vec<String>,
+    witness_states: usize,
     /// `FX10_KILL_AT_CHECKPOINT` — simulate a process kill right after
     /// the Nth durable checkpoint (the chaos harness's SIGKILL stand-in).
     kill_at: Option<u64>,
@@ -183,6 +207,10 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
         checkpoint_every: 1024,
         resume: None,
         ladder: false,
+        format: LintFormat::Text,
+        deny: vec![],
+        allow: vec![],
+        witness_states: 10_000,
         kill_at: None,
         wedge: None,
         stall_ms: None,
@@ -290,6 +318,46 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
                 i += 1;
                 o.resume = Some(args.get(i).ok_or("--resume needs a value")?.clone());
             }
+            "--format" => {
+                i += 1;
+                let v = args.get(i).ok_or("--format needs a value")?;
+                o.format = match v.as_str() {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    "sarif" => LintFormat::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--deny" | "--allow" => {
+                let flag = args[i].clone();
+                i += 1;
+                let v = args.get(i).ok_or_else(|| format!("{flag} needs a value"))?;
+                for sel in v.split(',').filter(|s| !s.is_empty()) {
+                    if !fx10_lints::selector_is_known(sel) {
+                        return Err(format!(
+                            "unknown rule selector `{sel}` (see `fx10 lint` rules: {})",
+                            fx10_lints::RULES
+                                .iter()
+                                .map(|r| r.code)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                    if flag == "--deny" {
+                        o.deny.push(sel.to_string());
+                    } else {
+                        o.allow.push(sel.to_string());
+                    }
+                }
+            }
+            "--witness-states" => {
+                i += 1;
+                o.witness_states = args
+                    .get(i)
+                    .ok_or("--witness-states needs a value")?
+                    .parse()
+                    .map_err(|_| "bad witness state count")?;
+            }
             "--ladder" => o.ladder = true,
             "--fallback-ci" => o.fallback_ci = true,
             "--ci" => o.ci = true,
@@ -330,6 +398,10 @@ const KNOWN_FLAGS: &[&str] = &[
     "--checkpoint-every",
     "--resume",
     "--ladder",
+    "--format",
+    "--deny",
+    "--allow",
+    "--witness-states",
     "--fallback-ci",
     "--ci",
     "--places",
@@ -357,6 +429,14 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
         ],
         "mhp" => &["--ci", "--solver", "--fallback-ci"],
         "race" => &["--ci", "--solver"],
+        "lint" => &[
+            "--input",
+            "--format",
+            "--deny",
+            "--allow",
+            "--witness-states",
+            "--solver",
+        ],
         "check" => &["--max-states", "--jobs", "--solver", "--input", "--ladder"],
         "x10" => &["--ci", "--solver", "--places"],
         "bench" => &["--ci", "--solver"],
@@ -591,6 +671,44 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
                 println!("INCONCLUSIVE ({e} exhausted) — race report is partial");
             }
             Ok(Verdict::of(a.exhausted))
+        }
+        "lint" => {
+            let p = load(target)?;
+            let mut report = fx10_lints::lint(
+                &p,
+                &fx10_lints::LintOptions {
+                    input: opts.input.clone(),
+                    witness_states: opts.witness_states,
+                    solver: opts.solver,
+                    budget,
+                },
+                &cancel,
+            )?;
+            // `--allow` suppresses before rendering: an allowed finding
+            // is invisible everywhere, including to `--deny`.
+            if !opts.allow.is_empty() {
+                report.diagnostics.retain(|d| {
+                    !opts
+                        .allow
+                        .iter()
+                        .any(|s| fx10_lints::selector_matches(s, d.code))
+                });
+            }
+            match opts.format {
+                LintFormat::Text => print!("{}", fx10_lints::render_text(target, &report)),
+                LintFormat::Json => print!("{}", fx10_lints::render_json(target, &report)),
+                LintFormat::Sarif => print!("{}", fx10_lints::render_sarif(target, &report)),
+            }
+            let denied = report.matching(&opts.deny).count();
+            if denied > 0 {
+                // Deny outranks inconclusive: a partial analysis that
+                // still found a denied defect must fail the build.
+                return Err(Fx10Error::Validate(format!(
+                    "{denied} finding(s) matched --deny {}",
+                    opts.deny.join(",")
+                )));
+            }
+            Ok(Verdict::of(report.exhausted))
         }
         "check" if opts.ladder => {
             let p = load(target)?;
@@ -873,7 +991,7 @@ fn main() -> ExitCode {
         None => return usage(),
     };
     const COMMANDS: &[&str] = &[
-        "parse", "run", "explore", "mhp", "race", "check", "x10", "bench",
+        "parse", "run", "explore", "mhp", "race", "lint", "check", "x10", "bench",
     ];
     if !COMMANDS.contains(&cmd) {
         eprintln!("error: unknown command `{cmd}`");

@@ -201,6 +201,43 @@ mod tests {
         assert!(!a.refined.contains(la, ly), "refined knows the barrier");
     }
 
+    #[test]
+    fn race_pair_logic_respects_the_barrier() {
+        use fx10_core::race::{detect_races_with, Access, AccessKind};
+        // The barrier example with both sides writing the same cell:
+        // label 1 (inside the casync, phase 0) and label 6 (after the
+        // `next`, phase 1) are separated by the barrier. Feeding the
+        // shared race-pair logic synthetic write accesses on those
+        // labels shows the refined oracle suppresses the race the
+        // barrier-blind one reports.
+        let p = CProgram::new(vec![
+            casync(vec![skip(), next(), skip()]),
+            skip(),
+            next(),
+            skip(),
+        ]);
+        let a = clocked_mhp(&p);
+        let acc = [
+            Access {
+                label: Label(1),
+                index: 0,
+                kind: AccessKind::Write,
+            },
+            Access {
+                label: Label(6),
+                index: 0,
+                kind: AccessKind::Write,
+            },
+        ];
+        let blind = detect_races_with(&acc, |x, y| a.base.contains(x, y));
+        assert_eq!(blind.len(), 1, "barrier-blind MHP reports the race");
+        let refined = detect_races_with(&acc, |x, y| a.may_happen_in_parallel(x, y));
+        assert!(
+            refined.is_empty(),
+            "the barrier orders the accesses: no race"
+        );
+    }
+
     fn node_strategy(depth: u32) -> impl Strategy<Value = Node> {
         let leaf = prop_oneof![3 => Just(skip()), 2 => Just(next())];
         leaf.prop_recursive(depth, 16, 3, |inner| {

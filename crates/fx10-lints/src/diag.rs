@@ -1,0 +1,245 @@
+//! The diagnostic model: stable rule codes, severities, confidence tiers.
+//!
+//! Every finding the lint engine emits carries a rule code from the fixed
+//! registry below, a severity, a 1-based source line (0 = the program was
+//! not built from source text), a human message, and the rule's fix hint.
+//! Race findings additionally carry a confidence tier and, when the
+//! bounded witness search succeeded, a concrete schedule that replays to
+//! a state where both racing redexes are live.
+
+use fx10_syntax::Label;
+use std::fmt;
+
+/// Diagnostic severity, ordered from worst to mildest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A proven defect (e.g. provable divergence).
+    Error,
+    /// A likely defect or code smell.
+    Warning,
+    /// Informational (e.g. precision-audit deltas).
+    Note,
+}
+
+impl Severity {
+    /// The SARIF `level` string for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// How much evidence backs a finding, strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Confidence {
+    /// Proven: a dynamic witness schedule exhibits the finding, or the
+    /// argument is exact (call-graph reachability, guard-cell dataflow).
+    Confirmed,
+    /// Reported by the context-sensitive analysis; dynamically
+    /// unconfirmed (the witness budget may have run out first).
+    CsStatic,
+    /// Reported only by the context-insensitive over-approximation —
+    /// context sensitivity already removes it, so this tier is the most
+    /// likely to be a false positive.
+    CiOnly,
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Confidence::Confirmed => "confirmed",
+            Confidence::CsStatic => "cs-static",
+            Confidence::CiOnly => "ci-only",
+        })
+    }
+}
+
+/// A lint rule: stable code, default severity, summary, fix hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// The stable rule code (`race-write-write`, `dead-method`, ...).
+    pub code: &'static str,
+    /// Default severity of findings.
+    pub severity: Severity,
+    /// One-line description for rule listings (SARIF `shortDescription`).
+    pub summary: &'static str,
+    /// The fix hint attached to every finding (SARIF `help`).
+    pub help: &'static str,
+}
+
+/// The full rule registry, in stable (reporting) order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "race-write-write",
+        severity: Severity::Warning,
+        summary: "two parallel writes to the same array cell",
+        help: "order the writers with `finish { ... }`, or write disjoint cells",
+    },
+    Rule {
+        code: "race-read-write",
+        severity: Severity::Warning,
+        summary: "a read and a parallel write of the same array cell",
+        help: "wrap the writer in `finish { ... }` before the read, or read a private cell",
+    },
+    Rule {
+        code: "dead-method",
+        severity: Severity::Warning,
+        summary: "method unreachable from main via the call graph",
+        help: "delete the method, or call it from a reachable one",
+    },
+    Rule {
+        code: "redundant-finish",
+        severity: Severity::Warning,
+        summary: "finish whose body spawns no async, transitively",
+        help: "remove the `finish { }` wrapper; it awaits nothing",
+    },
+    Rule {
+        code: "inert-async",
+        severity: Severity::Warning,
+        summary: "async whose body never overlaps any other computation",
+        help: "inline the body; the `async { }` adds no parallelism",
+    },
+    Rule {
+        code: "stuck-loop",
+        severity: Severity::Error,
+        summary: "loop guard cell is non-zero on entry and never written",
+        help: "write the guard cell somewhere, or fix the initial input",
+    },
+    Rule {
+        code: "precision-delta",
+        severity: Severity::Note,
+        summary: "MHP pair reported only by the context-insensitive analysis",
+        help: "informational: context sensitivity proves this pair infeasible",
+    },
+];
+
+/// Looks up a rule by its stable code.
+pub fn rule(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// True when `selector` matches `code`: exact, the group prefix
+/// (`race` matches `race-write-write`), or the wildcard `all`.
+pub fn selector_matches(selector: &str, code: &str) -> bool {
+    selector == "all"
+        || selector == code
+        || (code.len() > selector.len()
+            && code.starts_with(selector)
+            && code.as_bytes()[selector.len()] == b'-')
+}
+
+/// True when `selector` matches at least one registered rule (used to
+/// reject `--deny tyop` as a usage error instead of silently matching
+/// nothing).
+pub fn selector_is_known(selector: &str) -> bool {
+    selector == "all" || RULES.iter().any(|r| selector_matches(selector, r.code))
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (always one of [`RULES`]).
+    pub code: &'static str,
+    /// Severity (the rule's default).
+    pub severity: Severity,
+    /// 1-based source line of the primary location (0 = unknown).
+    pub line: u32,
+    /// Display name of the primary label or method.
+    pub primary: String,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// The label pair a race or precision-delta finding is about
+    /// (`None` for single-location structural findings).
+    pub pair: Option<(Label, Label)>,
+    /// Confidence tier.
+    pub confidence: Confidence,
+    /// Set when the witness budget ran out before the finding could be
+    /// dynamically confirmed or refuted.
+    pub may_be_spurious: bool,
+    /// A replayable successor-choice schedule exhibiting the finding
+    /// (race findings at [`Confidence::Confirmed`] only).
+    pub witness: Option<Vec<u32>>,
+}
+
+impl Diagnostic {
+    /// The rule's fix hint.
+    pub fn help(&self) -> &'static str {
+        rule(self.code).map(|r| r.help).unwrap_or("")
+    }
+}
+
+/// The result of a lint run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, sorted by (line, code, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Static race reports the witness search *refuted* — the bounded
+    /// exploration covered the entire raw state space without the pair
+    /// ever co-occurring, so they were dropped as proven false positives.
+    pub refuted_races: usize,
+    /// Set when the static analysis itself ran out of budget: the
+    /// findings are computed from a partial MHP relation.
+    pub exhausted: Option<fx10_robust::Exhaustion>,
+}
+
+impl LintReport {
+    /// Findings matching any of `selectors` (after `allow` filtering the
+    /// caller may have applied).
+    pub fn matching<'a>(&'a self, selectors: &'a [String]) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| selectors.iter().any(|s| selector_matches(s, d.code)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_codes_are_unique_and_resolvable() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert_eq!(rule(r.code), Some(r));
+            for other in &RULES[i + 1..] {
+                assert_ne!(r.code, other.code);
+            }
+        }
+        assert_eq!(rule("nope"), None);
+    }
+
+    #[test]
+    fn selectors_match_groups_and_exact_codes() {
+        assert!(selector_matches("race", "race-write-write"));
+        assert!(selector_matches("race", "race-read-write"));
+        assert!(selector_matches("race-write-write", "race-write-write"));
+        assert!(selector_matches("all", "stuck-loop"));
+        // Any dash-boundary prefix is a group selector.
+        assert!(selector_matches("race-write", "race-write-write"));
+        assert!(!selector_matches("race-w", "race-write-write"));
+        assert!(!selector_matches("race-write-write", "race"));
+        assert!(selector_is_known("race"));
+        assert!(selector_is_known("precision-delta"));
+        assert!(!selector_is_known("tyop"));
+    }
+
+    #[test]
+    fn severity_orders_and_renders() {
+        assert!(Severity::Error < Severity::Warning);
+        assert_eq!(Severity::Warning.sarif_level(), "warning");
+        assert_eq!(Confidence::Confirmed.to_string(), "confirmed");
+        assert!(Confidence::Confirmed < Confidence::CiOnly);
+    }
+}

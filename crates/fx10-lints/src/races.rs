@@ -1,0 +1,190 @@
+//! The upgraded race pass: classification, confidence tiers, witnesses.
+//!
+//! Detection itself is `fx10_core::race::detect_races_with` — the same
+//! pair logic `fx10 race` uses — run twice: once against the
+//! context-sensitive MHP and once against the context-insensitive one.
+//! CS ⊆ CI (Theorem: context sensitivity only removes pairs), so the CI
+//! run is the universe of findings and membership in the CS run decides
+//! the static tier. Each surviving finding then gets a bounded dynamic
+//! witness search:
+//!
+//! * **found** — the finding is `confirmed`, with the schedule attached;
+//! * **refuted** — the raw state space was exhausted without the pair
+//!   co-occurring: the finding is dropped (and counted);
+//! * **budget out** — the finding keeps its static tier, tagged
+//!   `may-be-spurious`.
+
+use crate::diag::{Confidence, Diagnostic, Severity};
+use fx10_core::analysis::Analysis;
+use fx10_core::race::{accesses, detect_races_with, Race};
+use fx10_robust::{Budget, CancelToken, Fx10Error};
+use fx10_semantics::witness::{find_witness, WitnessSearch};
+use fx10_syntax::Program;
+
+/// Outcome of the race pass.
+pub struct RacePassOutput {
+    /// One diagnostic per surviving (pair, cell) group.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Statically-reported races the witness search refuted.
+    pub refuted: usize,
+}
+
+/// Runs the race pass. `witness_states` bounds each per-finding witness
+/// search (0 disables the search entirely: every finding keeps its
+/// static tier with the may-be-spurious tag).
+pub fn race_pass(
+    p: &Program,
+    cs: &Analysis,
+    ci: &Analysis,
+    input: &[i64],
+    witness_states: usize,
+    budget: Budget,
+    cancel: &CancelToken,
+) -> Result<RacePassOutput, Fx10Error> {
+    let acc = accesses(p);
+    let cs_races = detect_races_with(&acc, |x, y| cs.may_happen_in_parallel(x, y));
+    let ci_races = detect_races_with(&acc, |x, y| ci.may_happen_in_parallel(x, y));
+
+    let mut diagnostics = Vec::new();
+    let mut refuted = 0usize;
+    for race in &ci_races {
+        let key = (race.first.label, race.second.label, race.first.index);
+        let tier = if cs_races
+            .iter()
+            .any(|r| (r.first.label, r.second.label, r.first.index) == key)
+        {
+            Confidence::CsStatic
+        } else {
+            Confidence::CiOnly
+        };
+        let (confidence, may_be_spurious, witness) = if witness_states == 0 {
+            (tier, true, None)
+        } else {
+            match find_witness(
+                p,
+                input,
+                (race.first.label, race.second.label),
+                witness_states,
+                budget,
+                cancel,
+            )? {
+                WitnessSearch::Found(w) => (Confidence::Confirmed, false, Some(w.schedule)),
+                WitnessSearch::Refuted { .. } => {
+                    refuted += 1;
+                    continue;
+                }
+                WitnessSearch::Exhausted { .. } => (tier, true, None),
+            }
+        };
+        diagnostics.push(describe(p, race, confidence, may_be_spurious, witness));
+    }
+    Ok(RacePassOutput {
+        diagnostics,
+        refuted,
+    })
+}
+
+fn describe(
+    p: &Program,
+    race: &Race,
+    confidence: Confidence,
+    may_be_spurious: bool,
+    witness: Option<Vec<u32>>,
+) -> Diagnostic {
+    let (code, what) = if race.is_write_write() {
+        ("race-write-write", "parallel writes to")
+    } else {
+        ("race-read-write", "a read races a parallel write of")
+    };
+    let first = p.labels().display(race.first.label);
+    let second = p.labels().display(race.second.label);
+    let message = if race.first.label == race.second.label {
+        format!(
+            "{what} a[{}]: two overlapping instances of {first}",
+            race.first.index
+        )
+    } else {
+        format!(
+            "{what} a[{}]: {first} (line {}) and {second} (line {})",
+            race.first.index,
+            p.labels().line(race.first.label),
+            p.labels().line(race.second.label),
+        )
+    };
+    Diagnostic {
+        code,
+        severity: Severity::Warning,
+        line: p.labels().line(race.first.label),
+        primary: first,
+        message,
+        pair: Some((race.first.label, race.second.label)),
+        confidence,
+        may_be_spurious,
+        witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_core::analysis::{analyze, analyze_ci};
+
+    fn run(src: &str, witness_states: usize) -> RacePassOutput {
+        let p = Program::parse(src).unwrap();
+        race_pass(
+            &p,
+            &analyze(&p),
+            &analyze_ci(&p),
+            &[],
+            witness_states,
+            Budget::unlimited(),
+            &CancelToken::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn racy_write_write_is_confirmed_with_witness() {
+        let out = run(
+            "def main() { W1: async { a[0] = 1; } W2: a[0] = 2; }",
+            10_000,
+        );
+        assert_eq!(out.refuted, 0);
+        assert_eq!(out.diagnostics.len(), 1);
+        let d = &out.diagnostics[0];
+        assert_eq!(d.code, "race-write-write");
+        assert_eq!(d.confidence, Confidence::Confirmed);
+        assert!(d.witness.is_some());
+        assert!(!d.may_be_spurious);
+    }
+
+    #[test]
+    fn zero_witness_budget_tags_may_be_spurious() {
+        let out = run("def main() { async { a[0] = 1; } a[0] = 2; }", 0);
+        assert_eq!(out.diagnostics.len(), 1);
+        let d = &out.diagnostics[0];
+        assert_eq!(d.confidence, Confidence::CsStatic);
+        assert!(d.may_be_spurious);
+        assert!(d.witness.is_none());
+    }
+
+    #[test]
+    fn read_write_is_classified() {
+        let out = run(
+            "def main() { async { a[0] = 1; } a[1] = a[0] + 1; }",
+            10_000,
+        );
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].code, "race-read-write");
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let out = run(
+            "def main() { finish { async { a[0] = 1; } } a[0] = 2; }",
+            10_000,
+        );
+        assert!(out.diagnostics.is_empty());
+        assert_eq!(out.refuted, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Diagnostic renderers: human text, machine JSON, and SARIF 2.1.0.
+//!
+//! All three are deterministic byte-for-byte for a given report — no
+//! timestamps, no environment data — so golden files can assert on them
+//! directly. JSON is emitted by hand (the workspace is offline and
+//! std-only); [`esc`] is the single escaping path all string values go
+//! through.
+
+use crate::diag::{Diagnostic, LintReport, Severity, RULES};
+use std::fmt::Write as _;
+
+/// Escapes `s` as the *inside* of a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_u32_array(xs: &[u32]) -> String {
+    let body: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// One text line per finding, then per-finding detail lines (witness, fix
+/// hint), then a summary line. Empty reports still get the summary.
+pub fn render_text(file: &str, report: &LintReport) -> String {
+    let mut out = String::new();
+    let mut counts = [0usize; 3];
+    for d in &report.diagnostics {
+        counts[d.severity as usize] += 1;
+        let _ = write!(
+            out,
+            "{file}:{}: {}[{}]: {}",
+            d.line, d.severity, d.code, d.message
+        );
+        let _ = write!(out, " ({})", d.confidence);
+        if d.may_be_spurious {
+            out.push_str(" [may-be-spurious]");
+        }
+        out.push('\n');
+        if let Some(w) = &d.witness {
+            let _ = writeln!(out, "  witness: successor choices {}", json_u32_array(w));
+        }
+        let _ = writeln!(out, "  help: {}", d.help());
+    }
+    let _ = write!(
+        out,
+        "{file}: {} error{}, {} warning{}, {} note{}",
+        counts[Severity::Error as usize],
+        if counts[Severity::Error as usize] == 1 {
+            ""
+        } else {
+            "s"
+        },
+        counts[Severity::Warning as usize],
+        if counts[Severity::Warning as usize] == 1 {
+            ""
+        } else {
+            "s"
+        },
+        counts[Severity::Note as usize],
+        if counts[Severity::Note as usize] == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+    if report.refuted_races > 0 {
+        let _ = write!(
+            out,
+            " ({} statically-reported race{} refuted by exploration)",
+            report.refuted_races,
+            if report.refuted_races == 1 { "" } else { "s" },
+        );
+    }
+    if let Some(e) = report.exhausted {
+        let _ = write!(out, " [static analysis hit its {e}: findings are partial]");
+    }
+    out.push('\n');
+    out
+}
+
+fn diagnostic_json(d: &Diagnostic, indent: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{indent}{{");
+    let _ = writeln!(out, "{indent}  \"code\": \"{}\",", esc(d.code));
+    let _ = writeln!(out, "{indent}  \"severity\": \"{}\",", d.severity);
+    let _ = writeln!(out, "{indent}  \"line\": {},", d.line);
+    let _ = writeln!(out, "{indent}  \"primary\": \"{}\",", esc(&d.primary));
+    let _ = writeln!(out, "{indent}  \"message\": \"{}\",", esc(&d.message));
+    match d.pair {
+        Some((a, b)) => {
+            let _ = writeln!(out, "{indent}  \"pair\": [{}, {}],", a.index(), b.index());
+        }
+        None => {
+            let _ = writeln!(out, "{indent}  \"pair\": null,");
+        }
+    }
+    let _ = writeln!(out, "{indent}  \"confidence\": \"{}\",", d.confidence);
+    let _ = writeln!(out, "{indent}  \"may_be_spurious\": {},", d.may_be_spurious);
+    match &d.witness {
+        Some(w) => {
+            let _ = writeln!(out, "{indent}  \"witness\": {},", json_u32_array(w));
+        }
+        None => {
+            let _ = writeln!(out, "{indent}  \"witness\": null,");
+        }
+    }
+    let _ = writeln!(out, "{indent}  \"help\": \"{}\"", esc(d.help()));
+    let _ = write!(out, "{indent}}}");
+    out
+}
+
+/// The machine-readable report: the full diagnostic model, verbatim.
+pub fn render_json(file: &str, report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"file\": \"{}\",", esc(file));
+    if report.diagnostics.is_empty() {
+        out.push_str("  \"diagnostics\": [],\n");
+    } else {
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in report.diagnostics.iter().enumerate() {
+            out.push_str(&diagnostic_json(d, "    "));
+            out.push_str(if i + 1 < report.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
+    let _ = writeln!(out, "  \"refuted_races\": {},", report.refuted_races);
+    match report.exhausted {
+        Some(e) => {
+            let _ = writeln!(out, "  \"exhausted\": \"{}\"", esc(&e.to_string()));
+        }
+        None => out.push_str("  \"exhausted\": null\n"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// SARIF 2.1.0: one run, the full rule registry in the driver, one result
+/// per finding. Witness schedules and confidence tiers travel in each
+/// result's `properties` bag; `region` is omitted when the source line is
+/// unknown (builder-built programs), as SARIF requires `startLine >= 1`.
+pub fn render_sarif(file: &str, report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n");
+    out.push_str("    {\n");
+    out.push_str("      \"tool\": {\n");
+    out.push_str("        \"driver\": {\n");
+    out.push_str("          \"name\": \"fx10-lint\",\n");
+    out.push_str("          \"version\": \"0.1.0\",\n");
+    out.push_str(
+        "          \"informationUri\": \"https://dl.acm.org/doi/10.1145/1693453.1693459\",\n",
+    );
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str("            {\n");
+        let _ = writeln!(out, "              \"id\": \"{}\",", esc(r.code));
+        let _ = writeln!(
+            out,
+            "              \"shortDescription\": {{ \"text\": \"{}\" }},",
+            esc(r.summary)
+        );
+        let _ = writeln!(
+            out,
+            "              \"help\": {{ \"text\": \"{}\" }},",
+            esc(r.help)
+        );
+        let _ = writeln!(
+            out,
+            "              \"defaultConfiguration\": {{ \"level\": \"{}\" }}",
+            r.severity.sarif_level()
+        );
+        out.push_str("            }");
+        out.push_str(if i + 1 < RULES.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("          ]\n");
+    out.push_str("        }\n");
+    out.push_str("      },\n");
+    if report.diagnostics.is_empty() {
+        out.push_str("      \"results\": []\n");
+    } else {
+        out.push_str("      \"results\": [\n");
+        for (i, d) in report.diagnostics.iter().enumerate() {
+            out.push_str(&sarif_result(file, d));
+            out.push_str(if i + 1 < report.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+    }
+    out.push_str("    }\n");
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn sarif_result(file: &str, d: &Diagnostic) -> String {
+    let rule_index = RULES.iter().position(|r| r.code == d.code).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("        {\n");
+    let _ = writeln!(out, "          \"ruleId\": \"{}\",", esc(d.code));
+    let _ = writeln!(out, "          \"ruleIndex\": {rule_index},");
+    let _ = writeln!(
+        out,
+        "          \"level\": \"{}\",",
+        d.severity.sarif_level()
+    );
+    let _ = writeln!(
+        out,
+        "          \"message\": {{ \"text\": \"{}\" }},",
+        esc(&d.message)
+    );
+    out.push_str("          \"locations\": [\n");
+    out.push_str("            {\n");
+    out.push_str("              \"physicalLocation\": {\n");
+    let _ = writeln!(
+        out,
+        "                \"artifactLocation\": {{ \"uri\": \"{}\" }}{}",
+        esc(file),
+        if d.line > 0 { "," } else { "" }
+    );
+    if d.line > 0 {
+        let _ = writeln!(
+            out,
+            "                \"region\": {{ \"startLine\": {} }}",
+            d.line
+        );
+    }
+    out.push_str("              }\n");
+    out.push_str("            }\n");
+    out.push_str("          ],\n");
+    out.push_str("          \"properties\": {\n");
+    let _ = writeln!(out, "            \"confidence\": \"{}\",", d.confidence);
+    let _ = write!(out, "            \"mayBeSpurious\": {}", d.may_be_spurious);
+    if let Some(w) = &d.witness {
+        let _ = write!(
+            out,
+            ",\n            \"witnessSchedule\": {}",
+            json_u32_array(w)
+        );
+    }
+    out.push('\n');
+    out.push_str("          }\n");
+    out.push_str("        }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{rule, Confidence};
+
+    fn sample() -> LintReport {
+        LintReport {
+            diagnostics: vec![
+                Diagnostic {
+                    code: "race-write-write",
+                    severity: Severity::Warning,
+                    line: 2,
+                    primary: "W1".into(),
+                    message: "parallel writes to a[0]: W1 (line 2) and W2 (line 3)".into(),
+                    pair: Some((fx10_syntax::Label(2), fx10_syntax::Label(4))),
+                    confidence: Confidence::Confirmed,
+                    may_be_spurious: false,
+                    witness: Some(vec![1, 0]),
+                },
+                Diagnostic {
+                    code: "stuck-loop",
+                    severity: Severity::Error,
+                    line: 0,
+                    primary: "W".into(),
+                    message: "a \"quoted\" message\nwith a newline".into(),
+                    pair: None,
+                    confidence: Confidence::Confirmed,
+                    may_be_spurious: true,
+                    witness: None,
+                },
+            ],
+            refuted_races: 1,
+            exhausted: None,
+        }
+    }
+
+    #[test]
+    fn escapes_json_metacharacters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        let json = render_json("f.fx10", &sample());
+        assert!(json.contains("a \\\"quoted\\\" message\\nwith a newline"));
+    }
+
+    #[test]
+    fn text_has_one_line_per_finding_plus_summary() {
+        let text = render_text("f.fx10", &sample());
+        assert!(text.contains("f.fx10:2: warning[race-write-write]:"));
+        assert!(text.contains("witness: successor choices [1, 0]"));
+        assert!(text.contains("[may-be-spurious]"));
+        assert!(text.contains("1 error, 1 warning, 0 notes"));
+        assert!(text.contains("1 statically-reported race refuted"));
+    }
+
+    #[test]
+    fn sarif_declares_every_rule_and_omits_unknown_regions() {
+        let sarif = render_sarif("f.fx10", &sample());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        for r in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", r.code)));
+            assert!(rule(r.code).is_some());
+        }
+        // The line-2 finding has a region; the line-0 finding does not.
+        assert_eq!(sarif.matches("\"region\"").count(), 1);
+        assert!(sarif.contains("\"witnessSchedule\": [1, 0]"));
+    }
+
+    #[test]
+    fn renderers_are_deterministic() {
+        let r = sample();
+        assert_eq!(render_text("f", &r), render_text("f", &r));
+        assert_eq!(render_json("f", &r), render_json("f", &r));
+        assert_eq!(render_sarif("f", &r), render_sarif("f", &r));
+    }
+
+    #[test]
+    fn empty_report_renders_in_all_formats() {
+        let r = LintReport {
+            diagnostics: vec![],
+            refuted_races: 0,
+            exhausted: None,
+        };
+        assert!(render_text("f", &r).contains("0 errors, 0 warnings, 0 notes"));
+        assert!(render_json("f", &r).contains("\"diagnostics\": []"));
+        assert!(render_sarif("f", &r).contains("\"results\": []"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Structural passes: dead methods, redundant finishes, inert asyncs,
+//! provably stuck loops.
+//!
+//! These are exact arguments, not over-approximations, so their findings
+//! are `confirmed`:
+//!
+//! * **dead-method** — call-graph reachability from `main` is a complete
+//!   syntactic fact (FX10 has no indirect calls).
+//! * **redundant-finish** — "the body spawns no async, transitively
+//!   through calls" is a least-fixpoint over the call graph.
+//! * **inert-async** — the static MHP relation *over-approximates* every
+//!   reachable `parallel(T)` (Theorem 2), so an empty MHP row for every
+//!   label the async body can execute (including transitively-called
+//!   methods) proves the body never overlaps anything.
+//! * **stuck-loop** — a `while (a[d] != 0)` where no instruction in the
+//!   whole program writes `a[d]` and the analyzed input has `a[d] ≠ 0`:
+//!   the guard is a constant non-zero, so reaching the loop diverges.
+
+use crate::diag::{Confidence, Diagnostic, Severity};
+use fx10_core::analysis::Analysis;
+use fx10_core::race::{accesses, AccessKind};
+use fx10_semantics::ArrayState;
+use fx10_syntax::{FuncId, InstrKind, Label, Program, Stmt};
+
+fn confirmed(
+    code: &'static str,
+    severity: Severity,
+    line: u32,
+    primary: String,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity,
+        line,
+        primary,
+        message,
+        pair: None,
+        confidence: Confidence::Confirmed,
+        may_be_spurious: false,
+        witness: None,
+    }
+}
+
+/// Per-method facts the structural passes share: direct callees, whether
+/// the body contains an `async` at any nesting depth, and all labels.
+struct MethodFacts {
+    callees: Vec<Vec<FuncId>>,
+    has_async: Vec<bool>,
+    labels: Vec<Vec<Label>>,
+}
+
+fn method_facts(p: &Program) -> MethodFacts {
+    let n = p.method_count();
+    let mut f = MethodFacts {
+        callees: vec![Vec::new(); n],
+        has_async: vec![false; n],
+        labels: vec![Vec::new(); n],
+    };
+    p.for_each_instr(|m, i| {
+        f.labels[m.index()].push(i.label);
+        match &i.kind {
+            InstrKind::Call { callee } => f.callees[m.index()].push(*callee),
+            InstrKind::Async { .. } => f.has_async[m.index()] = true,
+            _ => {}
+        }
+    });
+    f
+}
+
+/// `spawns[f]`: does running `f` ever execute an `async`, transitively?
+/// Least fixpoint over the call graph.
+fn spawning_methods(facts: &MethodFacts) -> Vec<bool> {
+    let mut spawns = facts.has_async.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for m in 0..spawns.len() {
+            if spawns[m] {
+                continue;
+            }
+            if facts.callees[m].iter().any(|c| spawns[c.index()]) {
+                spawns[m] = true;
+                changed = true;
+            }
+        }
+    }
+    spawns
+}
+
+/// Methods reachable from `main` through the call graph.
+fn reachable_methods(p: &Program, facts: &MethodFacts) -> Vec<bool> {
+    let mut reachable = vec![false; p.method_count()];
+    let mut stack = vec![p.main()];
+    reachable[p.main().index()] = true;
+    while let Some(m) = stack.pop() {
+        for &c in &facts.callees[m.index()] {
+            if !reachable[c.index()] {
+                reachable[c.index()] = true;
+                stack.push(c);
+            }
+        }
+    }
+    reachable
+}
+
+/// `dead-method`: methods the call graph cannot reach from `main`.
+pub fn dead_methods(p: &Program) -> Vec<Diagnostic> {
+    let facts = method_facts(p);
+    let reachable = reachable_methods(p, &facts);
+    let mut out = Vec::new();
+    for (mi, method) in p.methods().iter().enumerate() {
+        if reachable[mi] {
+            continue;
+        }
+        let head = method.body().head().label;
+        out.push(confirmed(
+            "dead-method",
+            Severity::Warning,
+            p.labels().line(head),
+            method.name().to_string(),
+            format!("method `{}` is never called from `main`", method.name()),
+        ));
+    }
+    out
+}
+
+/// Does `s` execute an `async` at any depth, following calls?
+fn stmt_spawns(s: &Stmt, spawns: &[bool]) -> bool {
+    s.instrs().iter().any(|i| match &i.kind {
+        InstrKind::Async { .. } => true,
+        InstrKind::Call { callee } => spawns[callee.index()],
+        InstrKind::While { body, .. } | InstrKind::Finish { body } => stmt_spawns(body, spawns),
+        _ => false,
+    })
+}
+
+/// `redundant-finish`: a `finish s` that cannot spawn, so it awaits
+/// nothing and is pure overhead.
+pub fn redundant_finishes(p: &Program) -> Vec<Diagnostic> {
+    let facts = method_facts(p);
+    let spawns = spawning_methods(&facts);
+    let mut out = Vec::new();
+    p.for_each_instr(|_, i| {
+        if let InstrKind::Finish { body } = &i.kind {
+            if !stmt_spawns(body, &spawns) {
+                out.push(confirmed(
+                    "redundant-finish",
+                    Severity::Warning,
+                    p.labels().line(i.label),
+                    p.labels().display(i.label),
+                    format!(
+                        "`finish` at {} spawns no async, transitively — it awaits nothing",
+                        p.labels().display(i.label)
+                    ),
+                ));
+            }
+        }
+    });
+    out
+}
+
+/// All labels `body` can execute: its own plus, transitively, the labels
+/// of every method it calls.
+fn executable_labels(body: &Stmt, facts: &MethodFacts, out: &mut Vec<Label>) {
+    fn method_closure(m: FuncId, facts: &MethodFacts, seen: &mut Vec<bool>, out: &mut Vec<Label>) {
+        if std::mem::replace(&mut seen[m.index()], true) {
+            return;
+        }
+        out.extend_from_slice(&facts.labels[m.index()]);
+        for &c in &facts.callees[m.index()] {
+            method_closure(c, facts, seen, out);
+        }
+    }
+    let mut seen = vec![false; facts.callees.len()];
+    fn walk(s: &Stmt, facts: &MethodFacts, seen: &mut Vec<bool>, out: &mut Vec<Label>) {
+        for i in s.instrs() {
+            out.push(i.label);
+            match &i.kind {
+                InstrKind::Call { callee } => method_closure(*callee, facts, seen, out),
+                _ => {
+                    if let Some(b) = i.kind.body() {
+                        walk(b, facts, seen, out);
+                    }
+                }
+            }
+        }
+    }
+    walk(body, facts, &mut seen, out);
+}
+
+/// `inert-async`: an async none of whose executable labels has any MHP
+/// partner — the spawn buys no parallelism. Requires a *complete* static
+/// analysis: a budget-cut MHP relation is partial and cannot prove
+/// absence, so the caller skips this pass when the analysis exhausted.
+pub fn inert_asyncs(p: &Program, a: &Analysis) -> Vec<Diagnostic> {
+    let facts = method_facts(p);
+    let mut out = Vec::new();
+    p.for_each_instr(|_, i| {
+        if let InstrKind::Async { body } = &i.kind {
+            let mut labels = Vec::new();
+            executable_labels(body, &facts, &mut labels);
+            let overlaps = labels.iter().any(|&l| !a.mhp().partners(l).is_empty());
+            if !overlaps {
+                out.push(confirmed(
+                    "inert-async",
+                    Severity::Warning,
+                    p.labels().line(i.label),
+                    p.labels().display(i.label),
+                    format!(
+                        "async at {} never overlaps any other computation",
+                        p.labels().display(i.label)
+                    ),
+                ));
+            }
+        }
+    });
+    out
+}
+
+/// `stuck-loop`: provable divergence under the analyzed input.
+pub fn stuck_loops(p: &Program, input: &[i64]) -> Vec<Diagnostic> {
+    let entry = ArrayState::with_input(p, input);
+    // Cells some instruction writes, anywhere in the program.
+    let written: Vec<usize> = accesses(p)
+        .iter()
+        .filter(|a| a.kind == AccessKind::Write)
+        .map(|a| a.index)
+        .collect();
+    let mut out = Vec::new();
+    p.for_each_instr(|_, i| {
+        if let InstrKind::While { idx, .. } = &i.kind {
+            if entry.get(*idx) != 0 && !written.contains(idx) {
+                out.push(confirmed(
+                    "stuck-loop",
+                    Severity::Error,
+                    p.labels().line(i.label),
+                    p.labels().display(i.label),
+                    format!(
+                        "guard a[{}] = {} on entry and no instruction ever writes a[{}]: \
+                         reaching this loop diverges",
+                        idx,
+                        entry.get(*idx),
+                        idx
+                    ),
+                ));
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_core::analysis::analyze;
+
+    #[test]
+    fn unreachable_method_is_dead() {
+        let p = Program::parse(
+            "def helper() { skip; }\n\
+             def unused() { helper(); }\n\
+             def main() { skip; }",
+        )
+        .unwrap();
+        let d = dead_methods(&p);
+        // `helper` is only reachable through `unused`, which is dead too.
+        let names: Vec<_> = d.iter().map(|d| d.primary.as_str()).collect();
+        assert_eq!(names, vec!["helper", "unused"]);
+        assert!(d.iter().all(|d| d.code == "dead-method" && d.line > 0));
+    }
+
+    #[test]
+    fn finish_without_asyncs_is_redundant() {
+        let p = Program::parse(
+            "def spawns() { async { skip; } }\n\
+             def main() {\n\
+               F1: finish { a[0] = 1; }\n\
+               F2: finish { spawns(); }\n\
+               F3: finish { async { skip; } }\n\
+             }",
+        )
+        .unwrap();
+        let d = redundant_finishes(&p);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].primary, "F1");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn async_with_no_overlap_is_inert() {
+        // The finish forces the async to complete before K runs.
+        let p = Program::parse("def main() { finish { A: async { B; } } K; }").unwrap();
+        let d = inert_asyncs(&p, &analyze(&p));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].primary, "A");
+        // A genuinely parallel async is not flagged.
+        let p2 = Program::parse("def main() { async { a[0] = 1; } a[0] = 2; }").unwrap();
+        assert!(inert_asyncs(&p2, &analyze(&p2)).is_empty());
+    }
+
+    #[test]
+    fn inert_check_follows_calls() {
+        // The async's body calls f, whose label overlaps main's tail:
+        // not inert even though the body's own labels are quiet.
+        let p = Program::parse(
+            "def f() { a[0] = 1; }\n\
+             def main() { async { f(); } a[0] = 2; }",
+        )
+        .unwrap();
+        assert!(inert_asyncs(&p, &analyze(&p)).is_empty());
+    }
+
+    #[test]
+    fn unwritten_nonzero_guard_is_stuck() {
+        let p = Program::parse("def main() { W: while (a[1] != 0) { skip; } }").unwrap();
+        // Guard cell zero on entry: fine.
+        assert!(stuck_loops(&p, &[]).is_empty());
+        // Non-zero and never written: provable divergence.
+        let d = stuck_loops(&p, &[0, 7]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "stuck-loop");
+        assert_eq!(d[0].severity, Severity::Error);
+        // A writer anywhere in the program disarms the proof.
+        let q = Program::parse("def main() { while (a[1] != 0) { a[1] = 0; } }").unwrap();
+        assert!(stuck_loops(&q, &[0, 7]).is_empty());
+    }
+}

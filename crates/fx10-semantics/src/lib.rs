@@ -33,6 +33,7 @@ pub mod snapshot;
 pub mod state;
 pub mod step;
 pub mod tree;
+pub mod witness;
 
 pub use explore::{
     explore, explore_budgeted, explore_interned_budgeted, explore_parallel,
@@ -44,3 +45,4 @@ pub use interp::{run, run_budgeted, run_result, RunOutcome, Scheduler};
 pub use snapshot::{fingerprint as snapshot_fingerprint, ExplorerSnapshot};
 pub use state::ArrayState;
 pub use tree::Tree;
+pub use witness::{find_witness, find_witness_simple, witness_exhibits, Witness, WitnessSearch};

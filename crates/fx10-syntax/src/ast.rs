@@ -229,12 +229,14 @@ impl Program {
 
         let mut next_label = 0u32;
         let mut names: Vec<(Label, String)> = Vec::new();
+        let mut lines: Vec<(Label, u32)> = Vec::new();
         let mut max_idx = 0usize;
 
         fn lower(
             body: Vec<Ast>,
             next_label: &mut u32,
             names: &mut Vec<(Label, String)>,
+            lines: &mut Vec<(Label, u32)>,
             max_idx: &mut usize,
             resolve: &dyn Fn(&str) -> Result<FuncId, ValidateError>,
         ) -> Result<Stmt, ValidateError> {
@@ -250,6 +252,9 @@ impl Program {
                 if let Some(n) = node.name {
                     names.push((label, n));
                 }
+                if node.line > 0 {
+                    lines.push((label, node.line));
+                }
                 let kind = match node.kind {
                     crate::build::AstKind::Skip => InstrKind::Skip,
                     crate::build::AstKind::Assign(idx, expr) => {
@@ -263,14 +268,14 @@ impl Program {
                         *max_idx = (*max_idx).max(idx);
                         InstrKind::While {
                             idx,
-                            body: lower(b, next_label, names, max_idx, resolve)?,
+                            body: lower(b, next_label, names, lines, max_idx, resolve)?,
                         }
                     }
                     crate::build::AstKind::Async(b) => InstrKind::Async {
-                        body: lower(b, next_label, names, max_idx, resolve)?,
+                        body: lower(b, next_label, names, lines, max_idx, resolve)?,
                     },
                     crate::build::AstKind::Finish(b) => InstrKind::Finish {
-                        body: lower(b, next_label, names, max_idx, resolve)?,
+                        body: lower(b, next_label, names, lines, max_idx, resolve)?,
                     },
                     crate::build::AstKind::Call(name) => InstrKind::Call {
                         callee: resolve(&name)?,
@@ -283,13 +288,23 @@ impl Program {
 
         let mut built = Vec::with_capacity(methods.len());
         for (name, body) in methods {
-            let body = lower(body, &mut next_label, &mut names, &mut max_idx, &resolve)?;
+            let body = lower(
+                body,
+                &mut next_label,
+                &mut names,
+                &mut lines,
+                &mut max_idx,
+                &resolve,
+            )?;
             built.push(Method { name, body });
         }
 
         let mut labels = LabelTable::with_len(next_label as usize);
         for (l, n) in names {
             labels.set(l, n);
+        }
+        for (l, line) in lines {
+            labels.set_line(l, line);
         }
         let main = ids
             .iter()

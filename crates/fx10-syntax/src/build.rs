@@ -21,11 +21,13 @@
 
 use crate::ast::Expr;
 
-/// An unlabeled instruction, optionally carrying a user-visible name.
+/// An unlabeled instruction, optionally carrying a user-visible name and
+/// a 1-based source line (0 = no source text, the builder default).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ast {
     pub(crate) kind: AstKind,
     pub(crate) name: Option<String>,
+    pub(crate) line: u32,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,13 +42,24 @@ pub(crate) enum AstKind {
 
 impl Ast {
     fn new(kind: AstKind) -> Self {
-        Ast { kind, name: None }
+        Ast {
+            kind,
+            name: None,
+            line: 0,
+        }
     }
 
     /// Attaches a user-visible name (e.g. `"S1"`) to this instruction's
     /// label.
     pub fn label(mut self, name: impl Into<String>) -> Self {
         self.name = Some(name.into());
+        self
+    }
+
+    /// Attaches a 1-based source line (the parser records where each
+    /// instruction starts so diagnostics can point at code).
+    pub fn at_line(mut self, line: u32) -> Self {
+        self.line = line;
         self
     }
 }

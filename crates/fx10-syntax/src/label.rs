@@ -23,24 +23,44 @@ impl std::fmt::Display for Label {
     }
 }
 
-/// Maps dense labels back to human-readable names ("S1", "S2", ...).
+/// Maps dense labels back to human-readable names ("S1", "S2", ...) and
+/// 1-based source lines.
 ///
 /// Names come from the surface syntax (`S3: skip;` or the bare-identifier
-/// shorthand `S3;`); unnamed instructions render as `L<index>`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// shorthand `S3;`); unnamed instructions render as `L<index>`. Lines come
+/// from the parser; programs built programmatically (no source text) carry
+/// line 0, which diagnostics treat as "unknown".
+#[derive(Debug, Clone, Default)]
 pub struct LabelTable {
     names: Vec<Option<String>>,
+    lines: Vec<u32>,
 }
+
+/// Two tables are equal when their *names* agree. Source lines are
+/// formatting metadata: a program must compare equal to its own
+/// pretty-printed-and-reparsed round trip even though the layout moved.
+impl PartialEq for LabelTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for LabelTable {}
 
 impl LabelTable {
     pub(crate) fn with_len(n: usize) -> Self {
         LabelTable {
             names: vec![None; n],
+            lines: vec![0; n],
         }
     }
 
     pub(crate) fn set(&mut self, l: Label, name: String) {
         self.names[l.index()] = Some(name);
+    }
+
+    pub(crate) fn set_line(&mut self, l: Label, line: u32) {
+        self.lines[l.index()] = line;
     }
 
     /// Number of labels in the table.
@@ -64,6 +84,12 @@ impl LabelTable {
             Some(n) => n.to_string(),
             None => format!("{l}"),
         }
+    }
+
+    /// The 1-based source line of `l`'s instruction, or 0 when the
+    /// program was not built from source text (builder/generator ASTs).
+    pub fn line(&self, l: Label) -> u32 {
+        self.lines.get(l.index()).copied().unwrap_or(0)
     }
 
     /// Find a label by its user-supplied name.

@@ -347,6 +347,9 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Ast, ParseError> {
+        // The instruction's source line: where its first token (label
+        // prefix included) sits.
+        let line = self.line() as u32;
         // Optional label prefix: `ident :`.
         let mut label = None;
         if let (Some(Tok::Ident(name)), Some((Tok::Colon, _))) =
@@ -357,7 +360,7 @@ impl Parser {
                 self.pos += 2;
             }
         }
-        let node = self.instr()?;
+        let node = self.instr()?.at_line(line);
         Ok(match label {
             Some(n) => node.label(n),
             None => node,
@@ -527,6 +530,29 @@ mod tests {
         let p = Program::parse("def main() { S9; }").unwrap();
         assert_eq!(p.labels().display(p.body(p.main()).head().label), "S9");
         assert!(matches!(p.body(p.main()).head().kind, InstrKind::Skip));
+    }
+
+    #[test]
+    fn instruction_lines_are_recorded() {
+        let p = Program::parse(
+            "def main() {\n\
+               W1: async { a[0] = 1; }\n\
+               W2: a[0] = 2;\n\
+             }",
+        )
+        .unwrap();
+        let w1 = p.labels().lookup("W1").unwrap();
+        let w2 = p.labels().lookup("W2").unwrap();
+        assert_eq!(p.labels().line(w1), 2);
+        assert_eq!(p.labels().line(w2), 3);
+        // The async body's assignment sits on line 2 as well.
+        match &p.body(p.main()).head().kind {
+            InstrKind::Async { body } => assert_eq!(p.labels().line(body.head().label), 2),
+            other => panic!("expected async, got {other:?}"),
+        }
+        // Builder-constructed programs have no source lines.
+        let q = Program::from_ast(vec![("main".into(), vec![crate::build::skip()])]).unwrap();
+        assert_eq!(q.labels().line(q.body(q.main()).head().label), 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub use fx10_clocked as clocked;
 pub use fx10_core as analysis;
 pub use fx10_frontend as frontend;
+pub use fx10_lints as lints;
 pub use fx10_robust as robust;
 pub use fx10_semantics as semantics;
 pub use fx10_suite as suite;
