@@ -3,6 +3,7 @@
 //! ```text
 //! figures [fig5|fig6|fig7|fig8|fig9|example22|precision|all]
 //! figures bench-explore [OUT.json]     # explorer benchmark report
+//! figures bench-absint  [OUT.json]     # abstract-interpreter domain sweep
 //! ```
 //!
 //! `bench-explore` measures the seed-style sequential cloned explorer
@@ -36,6 +37,18 @@ fn main() {
                 .nth(2)
                 .unwrap_or_else(|| "BENCH_explore.json".to_string());
             let json = fx10_bench::bench_explore_json();
+            print!("{json}");
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {out}");
+        }
+        "bench-absint" => {
+            let out = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "BENCH_absint.json".to_string());
+            let json = fx10_bench::bench_absint_json();
             print!("{json}");
             if let Err(e) = std::fs::write(&out, &json) {
                 eprintln!("cannot write {out}: {e}");

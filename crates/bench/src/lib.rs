@@ -497,6 +497,73 @@ pub fn bench_explore_json() -> String {
     out
 }
 
+/// The `BENCH_absint.json` report: a domain sweep (const / interval /
+/// parity) of the abstract interpreter over the chaos fixture, the paper
+/// examples, a fan-out stress program and a few random-suite seeds. Each
+/// row records the fixpoint cost (median of three timed runs), the
+/// convergence stats, and the oracle's precision as pruned MHP pairs.
+pub fn bench_absint_json() -> String {
+    use fx10_absint::{Domain, FeasibilityOracle};
+    use fx10_suite::{random_fx10, RandomConfig};
+
+    let chaos_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../programs/chaos_wide.fx10");
+    let chaos = std::fs::read_to_string(chaos_path)
+        .ok()
+        .and_then(|s| fx10_syntax::Program::parse(&s).ok());
+    let mut fixtures: Vec<(String, fx10_syntax::Program)> = vec![
+        ("example_2_1".into(), fx10_syntax::examples::example_2_1()),
+        ("same_category".into(), fx10_syntax::examples::same_category()),
+        ("fanout5".into(), fanout(5)),
+    ];
+    if let Some(p) = chaos {
+        fixtures.push(("chaos_wide".into(), p));
+    }
+    for seed in [11u64, 42, 77] {
+        let cfg = RandomConfig {
+            methods: 3,
+            stmts_per_method: 4,
+            max_depth: 2,
+            seed,
+        };
+        fixtures.push((format!("random_seed{seed}"), random_fx10(cfg)));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n  \"fixtures\": [\n");
+    for (i, (name, p)) in fixtures.iter().enumerate() {
+        let cs = fx10_core::analyze(p);
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{name}\",");
+        let _ = writeln!(out, "      \"labels\": {},", p.label_count());
+        let _ = writeln!(out, "      \"mhp_pairs\": {},", cs.mhp().len());
+        out.push_str("      \"domains\": [\n");
+        for (j, &d) in Domain::ALL.iter().enumerate() {
+            let (reachable, millis) = median_millis(|| {
+                FeasibilityOracle::build(p, &cs, d, None)
+                    .facts
+                    .reachable_count()
+            });
+            let oracle = FeasibilityOracle::build(p, &cs, d, None);
+            let report = oracle.prune(&cs);
+            let _ = write!(
+                out,
+                "        {{\"domain\": \"{d}\", \"millis\": {millis:.3}, \
+                 \"rounds\": {}, \"capped\": {}, \"reachable\": {reachable}, \
+                 \"pruned_pairs\": {}}}",
+                oracle.facts.rounds(),
+                oracle.facts.capped(),
+                report.pruned.len()
+            );
+            out.push_str(if j + 1 < Domain::ALL.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        let comma = if i + 1 < fixtures.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// The §2.2 / §7 walkthrough: CS avoids the (S3, S4) false positive, CI
 /// produces it.
 pub fn example_2_2_report() -> String {

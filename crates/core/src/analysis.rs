@@ -215,6 +215,35 @@ pub struct FallbackOutcome {
     pub cs_exhaustion: Option<Exhaustion>,
 }
 
+impl FallbackOutcome {
+    /// True when the answering analysis is a *complete* fixed point —
+    /// the precondition for feasibility-based refinement
+    /// ([`Analysis::prune_mhp`]): a budget-cut relation is partial, and
+    /// pruning a partial relation could silently drop real pairs twice
+    /// over. Holds on the fallback path too, provided the CI run itself
+    /// completed (it is then a sound, complete over-approximation).
+    pub fn supports_pruning(&self) -> bool {
+        self.analysis.exhausted.is_none()
+    }
+}
+
+/// The outcome of [`Analysis::prune_mhp`]: the surviving pair set and
+/// the pairs the feasibility oracle removed.
+#[derive(Debug, Clone)]
+pub struct PruneReport {
+    /// `M` restricted to pairs whose both labels are feasible.
+    pub kept: PairSet,
+    /// Removed pairs, unordered (`a <= b`), sorted and deduplicated.
+    pub pruned: Vec<(Label, Label)>,
+}
+
+impl PruneReport {
+    /// May `a` and `b` happen in parallel after pruning?
+    pub fn may_happen_in_parallel(&self, a: Label, b: Label) -> bool {
+        self.kept.contains(a, b)
+    }
+}
+
 /// Graceful degradation: runs the context-sensitive analysis under
 /// `cs_budget`; if any phase exhausts the budget, falls back to the
 /// cheaper context-insensitive baseline under `ci_budget` — a sound
@@ -306,6 +335,33 @@ impl Analysis {
     /// May the instructions labeled `a` and `b` happen in parallel?
     pub fn may_happen_in_parallel(&self, a: Label, b: Label) -> bool {
         self.mhp().contains(a, b)
+    }
+
+    /// Refines `M` with a label-feasibility oracle: a pair survives only
+    /// when *both* labels are feasible (reachable in some execution).
+    ///
+    /// The oracle is typically a value analysis (e.g. `fx10-absint`'s
+    /// guard-feasibility facts); this crate stays agnostic of where the
+    /// predicate comes from. Soundness: dropping a pair with an
+    /// infeasible end cannot lose a dynamic pair, because a dynamic MHP
+    /// pair requires both labels to be front labels of a *reachable*
+    /// state. The caller is responsible for gating on completeness — a
+    /// feasibility claim derived from a budget-cut analysis proves
+    /// nothing, and this method must not be called with one.
+    pub fn prune_mhp(&self, feasible: impl Fn(Label) -> bool) -> PruneReport {
+        let n = self.mhp().universe();
+        let mut kept = PairSet::empty(n);
+        let mut pruned = Vec::new();
+        for (a, b) in self.mhp().iter_pairs() {
+            if feasible(a) && feasible(b) {
+                kept.insert(a, b);
+            } else {
+                pruned.push(if a <= b { (a, b) } else { (b, a) });
+            }
+        }
+        pruned.sort();
+        pruned.dedup();
+        PruneReport { kept, pruned }
     }
 
     /// All MHP pairs as (name, name), sorted — convenient for tests and

@@ -42,7 +42,7 @@ pub mod typesystem;
 pub use analysis::{
     analyze, analyze_ci, analyze_with, analyze_with_budget, analyze_with_fallback,
     analyze_with_faults, Analysis, AnalysisPath, AnalysisStats, FallbackOutcome, LadderRung,
-    SolverKind, SoundnessReport, SupervisedAnswer, Supervisor,
+    PruneReport, SolverKind, SoundnessReport, SupervisedAnswer, Supervisor,
 };
 pub use gen::Mode;
 pub use index::{StmtId, StmtIndex, StmtKind};

@@ -1,0 +1,38 @@
+//! # fx10-absint
+//!
+//! Flow-sensitive **abstract interpretation** of the FX10 shared array
+//! `a`, layered on the paper's may-happen-in-parallel analysis.
+//!
+//! Where the MHP analysis answers *"which instructions can overlap?"*,
+//! this crate answers *"what values can the array hold when an
+//! instruction runs?"* — and feeds the answer back: a statically-parallel
+//! pair whose labels are abstractly unreachable (e.g. guarded by a loop
+//! whose condition is provably false) is *infeasible* and can be soundly
+//! pruned from the MHP relation.
+//!
+//! Three ingredients:
+//!
+//! - [`domain`] — the value lattices (constants, intervals with threshold
+//!   widening, parity), all sound for the concrete wrapping semantics;
+//! - [`interp`] — the interpreter: per-label abstract environments via
+//!   chaotic iteration with method summaries, where `∥` interleaving is
+//!   modeled as weak updates from every write the **static CS MHP
+//!   relation** says may race in (Theorem 2 makes that an
+//!   over-approximation of real interference);
+//! - [`oracle`] / [`gate`] — the guard-feasibility oracle consumed by
+//!   `fx10 race` and the lint suite, and the differential gate that
+//!   checks, program by program, that the abstract facts contain every
+//!   exact explorer state and that no pruned pair is dynamically real.
+
+#![warn(missing_docs)]
+pub mod domain;
+pub mod gate;
+pub mod interp;
+pub mod oracle;
+pub mod render;
+
+pub use domain::{AbsVal, Domain, THRESHOLDS};
+pub use gate::{soundness_gate, soundness_gate_all, GateReport, MAX_VIOLATIONS};
+pub use interp::{Absint, AbsintConfig};
+pub use oracle::FeasibilityOracle;
+pub use render::{render_json, render_text};

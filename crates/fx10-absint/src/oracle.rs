@@ -1,0 +1,96 @@
+//! The guard-feasibility oracle: the bridge between the abstract
+//! interpreter and the MHP clients (`fx10 race`, the lint suite).
+//!
+//! A static MHP pair `(a, b)` is *feasible* only if both labels are
+//! abstractly reachable. The oracle prunes infeasible pairs — but only
+//! when it is entitled to: the underlying CS analysis must be complete
+//! (not budget-exhausted) and the abstract run must not have hit its
+//! round cap. On an incomplete foundation every label is reported
+//! feasible, so clients degrade to the unpruned answer instead of
+//! unsoundly shrinking it.
+
+use crate::domain::Domain;
+use crate::interp::{Absint, AbsintConfig};
+use fx10_core::{Analysis, PruneReport};
+use fx10_syntax::{Label, Program};
+
+/// Feasibility facts for one program under one input (or `⊤`).
+#[derive(Debug, Clone)]
+pub struct FeasibilityOracle {
+    /// The abstract interpretation run backing the facts.
+    pub facts: Absint,
+    /// True when pruning is licensed: the CS analysis was complete and
+    /// the abstract run converged without the cap fallback.
+    pub complete: bool,
+}
+
+impl FeasibilityOracle {
+    /// Runs the interpreter against `analysis` (a CS run; its MHP relation
+    /// is the interference oracle) and records whether pruning is sound.
+    pub fn build(p: &Program, analysis: &Analysis, domain: Domain, input: Option<&[i64]>) -> Self {
+        let cfg = match input {
+            Some(i) => AbsintConfig::with_input(domain, i),
+            None => AbsintConfig::top(domain),
+        };
+        let facts = Absint::analyze(p, analysis.mhp(), &cfg);
+        let complete = analysis.exhausted.is_none() && !facts.capped();
+        FeasibilityOracle { facts, complete }
+    }
+
+    /// May `l` front any execution? `true` whenever pruning is not
+    /// licensed — an inconclusive oracle never shrinks anything.
+    pub fn label_feasible(&self, l: Label) -> bool {
+        !self.complete || self.facts.reachable(l)
+    }
+
+    /// May the pair co-execute, as far as this oracle can tell?
+    pub fn pair_feasible(&self, a: Label, b: Label) -> bool {
+        self.label_feasible(a) && self.label_feasible(b)
+    }
+
+    /// Splits the analysis' MHP relation into kept and pruned pairs.
+    pub fn prune(&self, analysis: &Analysis) -> PruneReport {
+        analysis.prune_mhp(|l| self.label_feasible(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx10_core::analyze;
+
+    #[test]
+    fn prunes_pairs_under_an_always_zero_guard() {
+        // The loop body (and its async) are unreachable: the guard cell is
+        // the constant 0. Every MHP pair involving body labels prunes.
+        let src = "def main() { a[0] = 0; while (a[0] != 0) { async { W1: a[1] = 1; } W2: a[1] = 2; } async { W3: a[1] = 3; } S: skip; }";
+        let p = Program::parse(src).unwrap();
+        let a = analyze(&p);
+        let o = FeasibilityOracle::build(&p, &a, Domain::Const, Some(&[0, 0]));
+        assert!(o.complete);
+        let w1 = p.labels().lookup("W1").unwrap();
+        let w2 = p.labels().lookup("W2").unwrap();
+        let w3 = p.labels().lookup("W3").unwrap();
+        let s = p.labels().lookup("S").unwrap();
+        assert!(!o.label_feasible(w1));
+        assert!(!o.label_feasible(w2));
+        assert!(o.label_feasible(w3));
+        let report = o.prune(&a);
+        assert!(a.mhp().contains(w1, w2), "static MHP has the dead pair");
+        assert!(!report.may_happen_in_parallel(w1, w2));
+        assert!(report.may_happen_in_parallel(w3, s) == a.mhp().contains(w3, s));
+        assert!(report.pruned.iter().any(|&(x, y)| (x, y) == (w1.min(w2), w1.max(w2))));
+    }
+
+    #[test]
+    fn incomplete_oracle_prunes_nothing() {
+        let src = "def main() { a[0] = 0; while (a[0] != 0) { async { a[1] = 1; } a[1] = 2; } }";
+        let p = Program::parse(src).unwrap();
+        let a = analyze(&p);
+        let mut o = FeasibilityOracle::build(&p, &a, Domain::Const, Some(&[0, 0]));
+        o.complete = false;
+        let report = o.prune(&a);
+        assert!(report.pruned.is_empty());
+        assert_eq!(report.kept.len(), a.mhp().len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic text and JSON renderers for `fx10 absint`.
+//!
+//! Output is byte-stable for a given program and options -- the CI golden
+//! files diff it directly -- so everything is sorted, ASCII, and free of
+//! timing or host detail.
+
+use crate::interp::Absint;
+use fx10_core::PruneReport;
+use fx10_syntax::{Label, Program};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_heading(p: &Program, l: Label) -> String {
+    let line = p.labels().line(l);
+    if line > 0 {
+        format!("{} (line {line})", p.labels().display(l))
+    } else {
+        p.labels().display(l)
+    }
+}
+
+fn env_string(a: &Absint, l: Label) -> String {
+    let cells: Vec<String> = a
+        .env(l)
+        .expect("reachable label")
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// The human-readable report.
+pub fn render_text(
+    file: &str,
+    p: &Program,
+    a: &Absint,
+    prune: Option<&PruneReport>,
+    input_desc: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{file}: abstract interpretation ({} domain, input {input_desc})\n",
+        a.domain()
+    ));
+    out.push_str(&format!(
+        "  fixpoint: {} round(s){}\n",
+        a.rounds(),
+        if a.capped() {
+            " -- round cap hit, all-top fallback"
+        } else {
+            ""
+        }
+    ));
+    out.push_str(&format!(
+        "  labels: {} of {} reachable\n",
+        a.reachable_count(),
+        p.label_count()
+    ));
+    for i in 0..p.label_count() {
+        let l = Label(i as u32);
+        let heading = label_heading(p, l);
+        if a.reachable(l) {
+            out.push_str(&format!("  {heading}: a = {}\n", env_string(a, l)));
+        } else {
+            out.push_str(&format!(
+                "  {heading}: unreachable -- {}\n",
+                a.reason(l).expect("unreachable label has a reason")
+            ));
+        }
+    }
+    if !a.divergent_loops().is_empty() {
+        out.push_str("  divergent loops:\n");
+        for &(l, idx, v) in a.divergent_loops() {
+            out.push_str(&format!(
+                "    {}: guard a[{idx}] is {v} and never 0 -- reaching this loop never exits\n",
+                label_heading(p, l)
+            ));
+        }
+    }
+    if let Some(report) = prune {
+        let before = report.kept.len() + report.pruned.len();
+        out.push_str(&format!(
+            "  mhp pruning: {} of {before} pair(s) infeasible\n",
+            report.pruned.len()
+        ));
+        for &(x, y) in &report.pruned {
+            out.push_str(&format!(
+                "    pruned ({}, {})\n",
+                p.labels().display(x),
+                p.labels().display(y)
+            ));
+        }
+    }
+    out
+}
+
+/// The machine-readable report (one JSON object, 2-space indent).
+pub fn render_json(
+    file: &str,
+    p: &Program,
+    a: &Absint,
+    prune: Option<&PruneReport>,
+    input_desc: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"file\": \"{}\",\n", esc(file)));
+    out.push_str(&format!("  \"domain\": \"{}\",\n", a.domain()));
+    out.push_str(&format!("  \"input\": \"{}\",\n", esc(input_desc)));
+    out.push_str(&format!("  \"rounds\": {},\n", a.rounds()));
+    out.push_str(&format!("  \"capped\": {},\n", a.capped()));
+    out.push_str(&format!("  \"reachable\": {},\n", a.reachable_count()));
+    out.push_str(&format!("  \"labels\": {},\n", p.label_count()));
+    out.push_str("  \"environments\": [\n");
+    for i in 0..p.label_count() {
+        let l = Label(i as u32);
+        let comma = if i + 1 < p.label_count() { "," } else { "" };
+        let name = esc(&p.labels().display(l));
+        let line = p.labels().line(l);
+        if a.reachable(l) {
+            let env: Vec<String> = a
+                .env(l)
+                .expect("reachable")
+                .iter()
+                .map(|v| format!("\"{}\"", esc(&v.to_string())))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"label\": \"{name}\", \"line\": {line}, \"reachable\": true, \"env\": [{}]}}{comma}\n",
+                env.join(", ")
+            ));
+        } else {
+            out.push_str(&format!(
+                "    {{\"label\": \"{name}\", \"line\": {line}, \"reachable\": false, \"reason\": \"{}\"}}{comma}\n",
+                esc(&a.reason(l).expect("unreachable label has a reason"))
+            ));
+        }
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"divergentLoops\": [");
+    let divs: Vec<String> = a
+        .divergent_loops()
+        .iter()
+        .map(|&(l, idx, v)| {
+            format!(
+                "{{\"label\": \"{}\", \"guardCell\": {idx}, \"guard\": \"{}\"}}",
+                esc(&p.labels().display(l)),
+                esc(&v.to_string())
+            )
+        })
+        .collect();
+    out.push_str(&divs.join(", "));
+    out.push_str("],\n");
+    match prune {
+        Some(report) => {
+            let before = report.kept.len() + report.pruned.len();
+            let pairs: Vec<String> = report
+                .pruned
+                .iter()
+                .map(|&(x, y)| {
+                    format!(
+                        "[\"{}\", \"{}\"]",
+                        esc(&p.labels().display(x)),
+                        esc(&p.labels().display(y))
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "  \"pruning\": {{\"before\": {before}, \"after\": {}, \"pruned\": [{}]}}\n",
+                report.kept.len(),
+                pairs.join(", ")
+            ));
+        }
+        None => out.push_str("  \"pruning\": null\n"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::oracle::FeasibilityOracle;
+    use fx10_core::analyze;
+
+    fn fixture() -> (Program, Absint, PruneReport) {
+        let src = "def main() { a[0] = 0; L: while (a[0] != 0) { W1: a[1] = 1; } W2: a[1] = 2; }";
+        let p = Program::parse(src).unwrap();
+        let an = analyze(&p);
+        let o = FeasibilityOracle::build(&p, &an, Domain::Const, Some(&[0, 0]));
+        let report = o.prune(&an);
+        (p.clone(), o.facts, report)
+    }
+
+    #[test]
+    fn text_is_deterministic_and_complete() {
+        let (p, a, report) = fixture();
+        let t1 = render_text("x.fx10", &p, &a, Some(&report), "[0, 0]");
+        let t2 = render_text("x.fx10", &p, &a, Some(&report), "[0, 0]");
+        assert_eq!(t1, t2);
+        assert!(t1.contains("const domain"));
+        assert!(t1.contains("unreachable"), "{t1}");
+        assert!(t1.contains("mhp pruning"));
+        assert!(t1.is_ascii(), "goldens stay ASCII");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let (p, a, report) = fixture();
+        let j = render_json("x.fx10", &p, &a, Some(&report), "[0, 0]");
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("}\n"));
+        assert!(j.contains("\"domain\": \"const\""));
+        assert!(j.contains("\"environments\": ["));
+        assert!(j.contains("\"pruning\": {"));
+        // Every label appears exactly once.
+        assert_eq!(j.matches("\"label\": ").count(), p.label_count() + a.divergent_loops().len());
+    }
+}

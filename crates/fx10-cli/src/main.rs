@@ -9,7 +9,9 @@
 //! fx10 mhp     <file.fx10> [--ci]             static MHP pairs
 //! fx10 race    <file.fx10>                    MHP-based race report
 //! fx10 lint    <file.fx10> [--format text|json|sarif] [--deny CODE] [--allow CODE]
-//!              [--witness-states N] [--input v,v,...]  full diagnostics suite
+//!              [--witness-states N] [--input v,v,...] [--domain D]  full diagnostics suite
+//! fx10 absint  <file.fx10> [--domain const|interval|parity] [--input v,v,...]
+//!              [--format text|json]               abstract value analysis
 //! fx10 check   <file.fx10> [--ladder]         soundness: dynamic ⊆ static
 //! fx10 x10     <file.x10>  [--ci]             X10-Lite condensed analysis
 //! fx10 bench   <name|all>                     run a suite benchmark
@@ -66,7 +68,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fx10 <parse|run|explore|mhp|race|lint|check|x10|bench> <file|name> [options]\n\
+        "usage: fx10 <parse|run|explore|mhp|race|lint|absint|check|x10|bench> <file|name> [options]\n\
          options:\n\
            --sched <leftmost|rightmost|random[:seed]>   scheduler (run)\n\
            --input v,v,...                              initial array (run/explore/check)\n\
@@ -81,6 +83,7 @@ fn usage() -> ExitCode {
            --deny <code>                                exit 1 on matching findings (lint)\n\
            --allow <code>                               suppress matching findings (lint)\n\
            --witness-states N                           witness search cap, 0 = off (lint)\n\
+           --domain <const|interval|parity>             abstract domain (absint/lint/race)\n\
            --ci                                         context-insensitive analysis\n\
            --solver <naive|worklist|scc|scc-par>        fixed-point algorithm\n\
            --places                                     same-place MHP refinement (x10)\n\
@@ -105,6 +108,10 @@ enum LintFormat {
 struct Opts {
     sched: Scheduler,
     input: Vec<i64>,
+    /// True when `--input` appeared: the value analysis then runs over
+    /// the exact abstracted input instead of `⊤`.
+    input_set: bool,
+    domain: fx10_absint::Domain,
     steps: u64,
     max_states: usize,
     jobs: usize,
@@ -191,6 +198,8 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
     let mut o = Opts {
         sched: Scheduler::Leftmost,
         input: vec![],
+        input_set: false,
+        domain: fx10_absint::Domain::Interval,
         steps: 1_000_000,
         max_states: 200_000,
         jobs: std::thread::available_parallelism()
@@ -239,11 +248,22 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
             "--input" => {
                 i += 1;
                 let v = args.get(i).ok_or("--input needs a value")?;
+                // Strict: every comma-separated segment must be an
+                // integer. An empty segment (`1,,2`, a trailing comma, or
+                // an empty value) is a usage error, not a silent skip.
                 o.input = v
                     .split(',')
-                    .filter(|s| !s.is_empty())
-                    .map(|s| s.trim().parse().map_err(|_| format!("bad input `{s}`")))
+                    .map(|s| {
+                        let t = s.trim();
+                        t.parse().map_err(|_| {
+                            format!(
+                                "bad --input segment `{t}` in `{v}` \
+                                 (expected comma-separated integers)"
+                            )
+                        })
+                    })
                     .collect::<Result<_, _>>()?;
+                o.input_set = true;
             }
             "--steps" => {
                 i += 1;
@@ -350,6 +370,13 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
                     }
                 }
             }
+            "--domain" => {
+                i += 1;
+                let v = args.get(i).ok_or("--domain needs a value")?;
+                o.domain = fx10_absint::Domain::parse(v).ok_or_else(|| {
+                    format!("unknown domain `{v}` (expected const, interval, or parity)")
+                })?;
+            }
             "--witness-states" => {
                 i += 1;
                 o.witness_states = args
@@ -402,6 +429,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--deny",
     "--allow",
     "--witness-states",
+    "--domain",
     "--fallback-ci",
     "--ci",
     "--places",
@@ -428,7 +456,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--resume",
         ],
         "mhp" => &["--ci", "--solver", "--fallback-ci"],
-        "race" => &["--ci", "--solver"],
+        "race" => &["--ci", "--solver", "--domain", "--input"],
         "lint" => &[
             "--input",
             "--format",
@@ -436,7 +464,9 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--allow",
             "--witness-states",
             "--solver",
+            "--domain",
         ],
+        "absint" => &["--input", "--domain", "--format", "--solver"],
         "check" => &["--max-states", "--jobs", "--solver", "--input", "--ladder"],
         "x10" => &["--ci", "--solver", "--places"],
         "bench" => &["--ci", "--solver"],
@@ -667,8 +697,80 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
             let a = analyze_with_budget(&p, opts.mode(), opts.solver, budget, &cancel)?;
             let races = fx10_core::race::detect_races(&p, &a);
             print!("{}", fx10_core::race::render_races(&p, &races));
+            // Value-analysis second opinion on every reported pair: an
+            // infeasible pair is called out with its unreachability proof;
+            // a surviving pair gets the abstract guard facts a fix would
+            // have to change. An unlicensed oracle says so instead of
+            // pretending the pairs were vetted.
+            if !races.is_empty() {
+                let input = opts.input_set.then_some(opts.input.as_slice());
+                let oracle = fx10_absint::FeasibilityOracle::build(&p, &a, opts.domain, input);
+                if oracle.complete {
+                    for r in &races {
+                        let (x, y) = (r.first.label, r.second.label);
+                        if !oracle.pair_feasible(x, y) {
+                            let dead = if oracle.label_feasible(x) { y } else { x };
+                            println!(
+                                "value-analysis ({}): ({}, {}) is infeasible — {}",
+                                oracle.facts.domain(),
+                                p.labels().display(x),
+                                p.labels().display(y),
+                                oracle
+                                    .facts
+                                    .reason(dead)
+                                    .unwrap_or_else(|| "label is unreachable".to_string())
+                            );
+                        } else {
+                            println!(
+                                "value-analysis ({}): ({}, {}) stays feasible — {}; {}",
+                                oracle.facts.domain(),
+                                p.labels().display(x),
+                                p.labels().display(y),
+                                oracle.facts.guard_fact(x, &p),
+                                oracle.facts.guard_fact(y, &p)
+                            );
+                        }
+                    }
+                } else {
+                    println!(
+                        "value-analysis ({}): inconclusive — no pair was vetted for feasibility",
+                        oracle.facts.domain()
+                    );
+                }
+            }
             if let Some(e) = a.exhausted {
                 println!("INCONCLUSIVE ({e} exhausted) — race report is partial");
+            }
+            Ok(Verdict::of(a.exhausted))
+        }
+        "absint" => {
+            let p = load(target)?;
+            let a = analyze_with_budget(
+                &p,
+                fx10_core::Mode::ContextSensitive,
+                opts.solver,
+                budget,
+                &cancel,
+            )?;
+            let input = opts.input_set.then_some(opts.input.as_slice());
+            let oracle = fx10_absint::FeasibilityOracle::build(&p, &a, opts.domain, input);
+            // Pruning is reported only when licensed; an inconclusive run
+            // renders the facts with `"pruning": null` / no pruning block.
+            let prune = oracle.complete.then(|| oracle.prune(&a));
+            let input_desc = match input {
+                Some(i) => format!("{i:?}"),
+                None => "top".to_string(),
+            };
+            match opts.format {
+                LintFormat::Text => print!(
+                    "{}",
+                    fx10_absint::render_text(target, &p, &oracle.facts, prune.as_ref(), &input_desc)
+                ),
+                LintFormat::Json => print!(
+                    "{}",
+                    fx10_absint::render_json(target, &p, &oracle.facts, prune.as_ref(), &input_desc)
+                ),
+                LintFormat::Sarif => unreachable!("rejected in main"),
             }
             Ok(Verdict::of(a.exhausted))
         }
@@ -681,6 +783,7 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
                     witness_states: opts.witness_states,
                     solver: opts.solver,
                     budget,
+                    domain: opts.domain,
                 },
                 &cancel,
             )?;
@@ -991,7 +1094,7 @@ fn main() -> ExitCode {
         None => return usage(),
     };
     const COMMANDS: &[&str] = &[
-        "parse", "run", "explore", "mhp", "race", "lint", "check", "x10", "bench",
+        "parse", "run", "explore", "mhp", "race", "lint", "absint", "check", "x10", "bench",
     ];
     if !COMMANDS.contains(&cmd) {
         eprintln!("error: unknown command `{cmd}`");
@@ -1005,6 +1108,10 @@ fn main() -> ExitCode {
         Ok((o, seen)) => {
             if let Err(e) = validate_flags(cmd, &seen) {
                 eprintln!("error: {e}");
+                return usage();
+            }
+            if cmd == "absint" && o.format == LintFormat::Sarif {
+                eprintln!("error: `absint` renders text or json only (`--format sarif` is for `lint`)");
                 return usage();
             }
             o

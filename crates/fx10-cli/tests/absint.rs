@@ -1,0 +1,207 @@
+//! End-to-end tests of `fx10 absint` and the value-analysis surface of
+//! `fx10 race` / `fx10 lint`: golden files, strict `--domain` /
+//! `--input` value parsing (exit 2, never a silent default), and the
+//! per-command flag audit.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn fx10(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fx10"))
+        .current_dir(repo_root())
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+fn golden(name: &str) -> String {
+    std::fs::read_to_string(repo_root().join("programs/golden").join(name))
+        .unwrap_or_else(|e| panic!("golden `{name}` unreadable: {e}"))
+}
+
+fn assert_golden(args: &[&str], name: &str) {
+    let out = fx10(args);
+    assert_eq!(code(&out), 0, "{args:?}: {}", stderr(&out));
+    assert_eq!(stdout(&out), golden(name), "golden drift for {args:?}");
+}
+
+#[test]
+fn absint_goldens_are_stable() {
+    assert_golden(&["absint", "programs/example22.fx10"], "absint_example22.txt");
+    assert_golden(
+        &[
+            "absint",
+            "programs/lint_stuck_loop.fx10",
+            "--domain",
+            "const",
+            "--input",
+            "0,1",
+        ],
+        "absint_stuck_loop.txt",
+    );
+    assert_golden(
+        &["absint", "programs/absint_dead_branch.fx10"],
+        "absint_dead_branch.txt",
+    );
+    assert_golden(
+        &["absint", "programs/absint_dead_branch.fx10", "--format", "json"],
+        "absint_dead_branch.json",
+    );
+}
+
+#[test]
+fn absint_json_reports_pruning_for_ci() {
+    let out = fx10(&["absint", "programs/absint_dead_branch.fx10", "--format", "json"]);
+    let s = stdout(&out);
+    assert!(s.contains("\"pruning\": {\"before\": 8, \"after\": 1,"), "{s}");
+    assert!(s.contains("\"reachable\": false"), "{s}");
+    assert!(s.contains("\"divergentLoops\""), "{s}");
+}
+
+#[test]
+fn every_domain_answers_on_every_fixture() {
+    for d in ["const", "interval", "parity"] {
+        for f in [
+            "programs/example22.fx10",
+            "programs/racey.fx10",
+            "programs/fork_join.fx10",
+            "programs/chaos_wide.fx10",
+        ] {
+            let out = fx10(&["absint", f, "--domain", d]);
+            assert_eq!(code(&out), 0, "{d} {f}: {}", stderr(&out));
+            let s = stdout(&out);
+            assert!(s.contains(&format!("({d} domain")), "{d} {f}: {s}");
+            assert!(s.contains("mhp pruning:"), "{d} {f}: {s}");
+        }
+    }
+}
+
+#[test]
+fn domain_values_are_strictly_parsed_exit_2() {
+    for bad in ["Const", "intervals", "octagon", ""] {
+        let out = fx10(&["absint", "programs/example22.fx10", "--domain", bad]);
+        assert_eq!(code(&out), 2, "`{bad}` must be a usage error");
+        assert!(stderr(&out).contains("unknown domain"), "{}", stderr(&out));
+    }
+    let out = fx10(&["absint", "programs/example22.fx10", "--domain"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("--domain needs a value"));
+}
+
+#[test]
+fn domain_flag_is_audited_per_command() {
+    // Valid where the value analysis runs...
+    for cmd in ["absint", "lint", "race"] {
+        let out = fx10(&[cmd, "programs/example22.fx10", "--domain", "parity"]);
+        assert_eq!(code(&out), 0, "{cmd}: {}", stderr(&out));
+    }
+    // ...and a usage error everywhere else, never silently ignored.
+    for cmd in ["parse", "run", "explore", "mhp", "check"] {
+        let out = fx10(&[cmd, "programs/example22.fx10", "--domain", "parity"]);
+        assert_eq!(code(&out), 2, "{cmd} must reject --domain");
+        assert!(
+            stderr(&out).contains("`--domain` is not valid for"),
+            "{cmd}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn input_segments_are_strictly_parsed_exit_2() {
+    // Garbage, empty segments, trailing commas, and the empty string are
+    // usage errors on every command that takes --input.
+    for cmd in ["run", "explore", "check", "lint", "absint", "race"] {
+        for bad in ["1,x", "1,,2", "1,2,", ""] {
+            let out = fx10(&[cmd, "programs/fork_join.fx10", "--input", bad]);
+            assert_eq!(code(&out), 2, "{cmd} --input `{bad}`: exit {}", code(&out));
+            assert!(
+                stderr(&out).contains("bad --input segment"),
+                "{cmd} `{bad}`: {}",
+                stderr(&out)
+            );
+        }
+        // Whitespace around integers is fine.
+        let out = fx10(&[cmd, "programs/fork_join.fx10", "--input", "1, 2"]);
+        assert_ne!(code(&out), 2, "{cmd}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn absint_rejects_sarif_and_foreign_flags() {
+    let out = fx10(&["absint", "programs/example22.fx10", "--format", "sarif"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("text or json"), "{}", stderr(&out));
+    for flag in [&["--jobs", "4"][..], &["--deny", "race"], &["--ladder"]] {
+        let mut args = vec!["absint", "programs/example22.fx10"];
+        args.extend_from_slice(flag);
+        let out = fx10(&args);
+        assert_eq!(code(&out), 2, "{flag:?}");
+        assert!(stderr(&out).contains("is not valid for `absint`"));
+    }
+}
+
+#[test]
+fn oob_goldens_and_sarif_are_stable() {
+    assert_golden(&["lint", "programs/lint_oob.fx10"], "lint_oob.txt");
+    assert_golden(
+        &["lint", "programs/lint_oob.fx10", "--format", "sarif"],
+        "lint_oob.sarif",
+    );
+    let sarif = golden("lint_oob.sarif");
+    assert!(sarif.contains("\"ruleId\": \"oob-write\""));
+    assert!(sarif.contains("\"ruleId\": \"oob-read\""));
+    // The grown registry declares the new rules in every SARIF run.
+    for rule in ["oob-write", "oob-read", "infeasible-race"] {
+        assert!(sarif.contains(&format!("\"id\": \"{rule}\"")), "{rule}");
+    }
+    // And --deny picks them up like any other code.
+    let out = fx10(&["lint", "programs/lint_oob.fx10", "--deny", "oob"]);
+    assert_eq!(code(&out), 1);
+}
+
+#[test]
+fn race_cites_value_analysis_feasibility() {
+    // Dead-loop races: every pair is called out as infeasible.
+    let out = fx10(&["race", "programs/absint_dead_branch.fx10"]);
+    assert_eq!(code(&out), 0);
+    let s = stdout(&out);
+    assert!(s.contains("is infeasible"), "{s}");
+    assert!(s.contains("guard a[0] is always 0"), "{s}");
+    // A live race keeps its guard-fact hint instead.
+    let out = fx10(&["race", "programs/racey.fx10", "--domain", "const"]);
+    let s = stdout(&out);
+    assert!(s.contains("stays feasible"), "{s}");
+    assert!(s.contains("(const domain)"), "{s}");
+}
+
+#[test]
+fn lint_demotes_infeasible_races_to_notes() {
+    let out = fx10(&["lint", "programs/absint_dead_branch.fx10", "--format", "json"]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"code\": \"infeasible-race\""), "{s}");
+    assert!(s.contains("\"guard_fact\": \"interval domain:"), "{s}");
+    assert!(!s.contains("\"code\": \"race-write-write\""), "{s}");
+}

@@ -36,6 +36,7 @@ pub fn precision_audit(p: &Program, cs: &Analysis, ci: &Analysis) -> Vec<Diagnos
             confidence: Confidence::Confirmed,
             may_be_spurious: false,
             witness: None,
+            guard_fact: None,
         });
     }
     out

@@ -115,14 +115,32 @@ pub const RULES: &[Rule] = &[
     Rule {
         code: "stuck-loop",
         severity: Severity::Error,
-        summary: "loop guard cell is non-zero on entry and never written",
-        help: "write the guard cell somewhere, or fix the initial input",
+        summary: "loop guard cell is abstractly non-zero forever: the loop cannot exit",
+        help: "write the guard cell to 0 somewhere the loop can observe, or fix the initial input",
     },
     Rule {
         code: "precision-delta",
         severity: Severity::Note,
         summary: "MHP pair reported only by the context-insensitive analysis",
         help: "informational: context sensitivity proves this pair infeasible",
+    },
+    Rule {
+        code: "oob-write",
+        severity: Severity::Error,
+        summary: "write to an index outside the declared array bounds",
+        help: "grow the `array[N];` declaration, or write inside `0..N`",
+    },
+    Rule {
+        code: "oob-read",
+        severity: Severity::Error,
+        summary: "read of an index outside the declared array bounds",
+        help: "grow the `array[N];` declaration, or read inside `0..N`",
+    },
+    Rule {
+        code: "infeasible-race",
+        severity: Severity::Note,
+        summary: "statically-reported race whose labels the value analysis proves unreachable",
+        help: "informational: abstract interpretation proves this pair cannot co-execute",
     },
 ];
 
@@ -172,6 +190,11 @@ pub struct Diagnostic {
     /// A replayable successor-choice schedule exhibiting the finding
     /// (race findings at [`Confidence::Confirmed`] only).
     pub witness: Option<Vec<u32>>,
+    /// An abstract-interpretation fact backing or contextualizing the
+    /// finding: why a pruned pair is infeasible, or — for a race the
+    /// value analysis could *not* rule out — the guard facts that kept it
+    /// feasible.
+    pub guard_fact: Option<String>,
 }
 
 impl Diagnostic {

@@ -7,12 +7,20 @@
 //!   *miss* races, never invent them, and the report records the cut;
 //! * `inert-async` and `precision-delta` need complete analyses: both
 //!   prove an *absence* (no MHP partner; pair not in CS), which a partial
-//!   relation cannot support, so they are skipped under exhaustion.
+//!   relation cannot support, so they are skipped under exhaustion;
+//! * the abstract value analysis (feasibility oracle, input-general
+//!   stuck-loop proofs) is licensed only by a complete CS relation and an
+//!   uncapped fixpoint — its interference rule quantifies over the MHP
+//!   relation, so a partial relation would make its *facts* unsound, not
+//!   just incomplete. Unlicensed runs degrade to the syntactic rules.
 
 use crate::audit::precision_audit;
 use crate::diag::LintReport;
 use crate::races::race_pass;
-use crate::structure::{dead_methods, inert_asyncs, redundant_finishes, stuck_loops};
+use crate::structure::{
+    dead_methods, inert_asyncs, oob_accesses, redundant_finishes, stuck_loops,
+};
+use fx10_absint::{Absint, AbsintConfig, Domain, FeasibilityOracle};
 use fx10_core::analysis::{analyze_with_budget, SolverKind};
 use fx10_core::gen::Mode;
 use fx10_robust::{Budget, CancelToken, Fx10Error};
@@ -32,6 +40,9 @@ pub struct LintOptions {
     pub solver: SolverKind,
     /// Resource budget shared by the analyses and every witness search.
     pub budget: Budget,
+    /// Abstract domain for the value analysis backing the feasibility
+    /// oracle and the stuck-loop proofs.
+    pub domain: Domain,
 }
 
 impl Default for LintOptions {
@@ -41,6 +52,7 @@ impl Default for LintOptions {
             witness_states: 10_000,
             solver: SolverKind::Naive,
             budget: Budget::unlimited(),
+            domain: Domain::Interval,
         }
     }
 }
@@ -65,12 +77,25 @@ pub fn lint(
     )?;
     let complete = cs.exhausted.is_none() && ci.exhausted.is_none();
 
+    // The value analysis quantifies over the CS MHP relation, so only a
+    // complete CS run licenses it; the oracle additionally refuses to
+    // prune when its own fixpoint hit the round cap.
+    let oracle = (cs.exhausted.is_none())
+        .then(|| FeasibilityOracle::build(p, &cs, opts.domain, Some(&opts.input)));
+    let facts_general = (cs.exhausted.is_none())
+        .then(|| Absint::analyze(p, cs.mhp(), &AbsintConfig::top(opts.domain)));
+    let absint = match (&facts_general, &oracle) {
+        (Some(g), Some(o)) if !g.capped() && o.complete => Some((g, &o.facts)),
+        _ => None,
+    };
+
     let races = race_pass(
         p,
         &cs,
         &ci,
         &opts.input,
         opts.witness_states,
+        oracle.as_ref(),
         opts.budget,
         cancel,
     )?;
@@ -78,7 +103,8 @@ pub fn lint(
     let mut diagnostics = races.diagnostics;
     diagnostics.extend(dead_methods(p));
     diagnostics.extend(redundant_finishes(p));
-    diagnostics.extend(stuck_loops(p, &opts.input));
+    diagnostics.extend(stuck_loops(p, &opts.input, absint));
+    diagnostics.extend(oob_accesses(p));
     if complete {
         diagnostics.extend(inert_asyncs(p, &cs));
         diagnostics.extend(precision_audit(p, &cs, &ci));
@@ -147,6 +173,41 @@ mod tests {
         assert_eq!(race.confidence, Confidence::Confirmed);
         assert!(race.witness.is_some());
         assert!(race.line > 0);
+    }
+
+    #[test]
+    fn engine_emits_infeasible_race_and_oob() {
+        let r = run("array[2];\n\
+             def main() {\n\
+               a[0] = 0;\n\
+               while (a[0] != 0) { async { a[1] = 1; } a[1] = 2; }\n\
+               X: a[2] = 9;\n\
+             }");
+        let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"infeasible-race"), "{codes:?}");
+        assert!(codes.contains(&"oob-write"), "{codes:?}");
+        assert!(!codes.contains(&"race-write-write"), "{codes:?}");
+        let inf = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "infeasible-race")
+            .unwrap();
+        assert!(inf.guard_fact.is_some());
+    }
+
+    #[test]
+    fn engine_stuck_loop_is_input_general() {
+        let r = run("def main() { a[0] = 5; while (a[0] != 0) { skip; } }");
+        let stuck = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "stuck-loop")
+            .expect("stuck loop");
+        assert!(
+            stuck.message.contains("for every input"),
+            "{}",
+            stuck.message
+        );
     }
 
     #[test]

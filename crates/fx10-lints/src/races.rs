@@ -13,8 +13,16 @@
 //!   co-occurring: the finding is dropped (and counted);
 //! * **budget out** — the finding keeps its static tier, tagged
 //!   `may-be-spurious`.
+//!
+//! When a *complete* feasibility oracle is available, it runs first:
+//! pairs whose labels the value analysis proves can never co-execute are
+//! downgraded to `infeasible-race` notes (skipping the witness search —
+//! the abstract proof is stronger than a bounded refutation), and every
+//! finding that survives with the may-be-spurious tag gets a
+//! `guard_fact` hint quoting the abstract values that kept it feasible.
 
 use crate::diag::{Confidence, Diagnostic, Severity};
+use fx10_absint::FeasibilityOracle;
 use fx10_core::analysis::Analysis;
 use fx10_core::race::{accesses, detect_races_with, Race};
 use fx10_robust::{Budget, CancelToken, Fx10Error};
@@ -31,19 +39,23 @@ pub struct RacePassOutput {
 
 /// Runs the race pass. `witness_states` bounds each per-finding witness
 /// search (0 disables the search entirely: every finding keeps its
-/// static tier with the may-be-spurious tag).
+/// static tier with the may-be-spurious tag). `oracle`, when present and
+/// complete, downgrades abstractly-infeasible pairs and annotates
+/// surviving unconfirmed findings with guard facts.
 pub fn race_pass(
     p: &Program,
     cs: &Analysis,
     ci: &Analysis,
     input: &[i64],
     witness_states: usize,
+    oracle: Option<&FeasibilityOracle>,
     budget: Budget,
     cancel: &CancelToken,
 ) -> Result<RacePassOutput, Fx10Error> {
     let acc = accesses(p);
     let cs_races = detect_races_with(&acc, |x, y| cs.may_happen_in_parallel(x, y));
     let ci_races = detect_races_with(&acc, |x, y| ci.may_happen_in_parallel(x, y));
+    let oracle = oracle.filter(|o| o.complete);
 
     let mut diagnostics = Vec::new();
     let mut refuted = 0usize;
@@ -57,6 +69,12 @@ pub fn race_pass(
         } else {
             Confidence::CiOnly
         };
+        if let Some(o) = oracle {
+            if !o.pair_feasible(race.first.label, race.second.label) {
+                diagnostics.push(infeasible(p, race, o));
+                continue;
+            }
+        }
         let (confidence, may_be_spurious, witness) = if witness_states == 0 {
             (tier, true, None)
         } else {
@@ -76,12 +94,63 @@ pub fn race_pass(
                 WitnessSearch::Exhausted { .. } => (tier, true, None),
             }
         };
-        diagnostics.push(describe(p, race, confidence, may_be_spurious, witness));
+        // An unconfirmed finding keeps a note on why the value analysis
+        // could not rule it out either — the facts a fix must change.
+        let guard_fact = match oracle {
+            Some(o) if may_be_spurious => Some(format!(
+                "value analysis ({} domain) cannot rule this pair out: {}; {}",
+                o.facts.domain(),
+                o.facts.guard_fact(race.first.label, p),
+                o.facts.guard_fact(race.second.label, p)
+            )),
+            _ => None,
+        };
+        diagnostics.push(describe(
+            p,
+            race,
+            confidence,
+            may_be_spurious,
+            witness,
+            guard_fact,
+        ));
     }
     Ok(RacePassOutput {
         diagnostics,
         refuted,
     })
+}
+
+/// A statically-reported race the value analysis proves infeasible:
+/// demoted to an `infeasible-race` note carrying the unreachability
+/// proof, and excused from the witness search.
+fn infeasible(p: &Program, race: &Race, oracle: &FeasibilityOracle) -> Diagnostic {
+    let first = p.labels().display(race.first.label);
+    let second = p.labels().display(race.second.label);
+    let dead = [race.first.label, race.second.label]
+        .into_iter()
+        .find(|&l| !oracle.label_feasible(l))
+        .unwrap_or(race.first.label);
+    let why = oracle
+        .facts
+        .reason(dead)
+        .unwrap_or_else(|| "label is abstractly unreachable".to_string());
+    Diagnostic {
+        code: "infeasible-race",
+        severity: Severity::Note,
+        line: p.labels().line(race.first.label),
+        primary: first.clone(),
+        message: format!(
+            "static race on a[{}] between {first} and {second} is infeasible: \
+             {} is unreachable",
+            race.first.index,
+            p.labels().display(dead)
+        ),
+        pair: Some((race.first.label, race.second.label)),
+        confidence: Confidence::Confirmed,
+        may_be_spurious: false,
+        witness: None,
+        guard_fact: Some(format!("{} domain: {why}", oracle.facts.domain())),
+    }
 }
 
 fn describe(
@@ -90,6 +159,7 @@ fn describe(
     confidence: Confidence,
     may_be_spurious: bool,
     witness: Option<Vec<u32>>,
+    guard_fact: Option<String>,
 ) -> Diagnostic {
     let (code, what) = if race.is_write_write() {
         ("race-write-write", "parallel writes to")
@@ -121,12 +191,14 @@ fn describe(
         confidence,
         may_be_spurious,
         witness,
+        guard_fact,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fx10_absint::Domain;
     use fx10_core::analysis::{analyze, analyze_ci};
 
     fn run(src: &str, witness_states: usize) -> RacePassOutput {
@@ -137,6 +209,24 @@ mod tests {
             &analyze_ci(&p),
             &[],
             witness_states,
+            None,
+            Budget::unlimited(),
+            &CancelToken::new(),
+        )
+        .unwrap()
+    }
+
+    fn run_with_oracle(src: &str, input: &[i64], witness_states: usize) -> RacePassOutput {
+        let p = Program::parse(src).unwrap();
+        let cs = analyze(&p);
+        let oracle = FeasibilityOracle::build(&p, &cs, Domain::Interval, Some(input));
+        race_pass(
+            &p,
+            &cs,
+            &analyze_ci(&p),
+            input,
+            witness_states,
+            Some(&oracle),
             Budget::unlimited(),
             &CancelToken::new(),
         )
@@ -186,5 +276,43 @@ mod tests {
         );
         assert!(out.diagnostics.is_empty());
         assert_eq!(out.refuted, 0);
+    }
+
+    #[test]
+    fn oracle_demotes_dead_loop_race_to_infeasible_note() {
+        // The race lives inside a loop whose guard is provably 0.
+        let src = "def main() { a[0] = 0; while (a[0] != 0) { async { a[1] = 1; } a[1] = 2; } }";
+        let out = run_with_oracle(src, &[0, 0], 0);
+        assert!(!out.diagnostics.is_empty());
+        for d in &out.diagnostics {
+            assert_eq!(d.code, "infeasible-race");
+            assert_eq!(d.severity, Severity::Note);
+            assert_eq!(d.confidence, Confidence::Confirmed);
+            assert!(!d.may_be_spurious);
+            assert!(d.witness.is_none());
+            let fact = d.guard_fact.as_deref().unwrap();
+            assert!(fact.starts_with("interval domain: "), "{fact}");
+        }
+        // Without the oracle the same races are plain static warnings.
+        let plain = run(src, 0);
+        assert_eq!(plain.diagnostics.len(), out.diagnostics.len());
+        assert!(plain.diagnostics.iter().all(|d| d.code == "race-write-write"));
+    }
+
+    #[test]
+    fn surviving_unconfirmed_race_cites_guard_facts() {
+        // witness_states = 0 keeps the finding may-be-spurious, so the
+        // oracle's "could not rule it out" hint attaches.
+        let out = run_with_oracle("def main() { async { a[0] = 1; } a[0] = 2; }", &[], 0);
+        assert_eq!(out.diagnostics.len(), 1);
+        let d = &out.diagnostics[0];
+        assert_eq!(d.code, "race-write-write");
+        assert!(d.may_be_spurious);
+        let fact = d.guard_fact.as_deref().unwrap();
+        assert!(fact.contains("cannot rule this pair out"), "{fact}");
+        // Confirmed findings carry no hint — the witness is the evidence.
+        let confirmed =
+            run_with_oracle("def main() { async { a[0] = 1; } a[0] = 2; }", &[], 10_000);
+        assert!(confirmed.diagnostics[0].guard_fact.is_none());
     }
 }

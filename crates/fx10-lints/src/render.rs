@@ -53,6 +53,9 @@ pub fn render_text(file: &str, report: &LintReport) -> String {
         if let Some(w) = &d.witness {
             let _ = writeln!(out, "  witness: successor choices {}", json_u32_array(w));
         }
+        if let Some(g) = &d.guard_fact {
+            let _ = writeln!(out, "  value-analysis: {g}");
+        }
         let _ = writeln!(out, "  help: {}", d.help());
     }
     let _ = write!(
@@ -116,6 +119,14 @@ fn diagnostic_json(d: &Diagnostic, indent: &str) -> String {
         }
         None => {
             let _ = writeln!(out, "{indent}  \"witness\": null,");
+        }
+    }
+    match &d.guard_fact {
+        Some(g) => {
+            let _ = writeln!(out, "{indent}  \"guard_fact\": \"{}\",", esc(g));
+        }
+        None => {
+            let _ = writeln!(out, "{indent}  \"guard_fact\": null,");
         }
     }
     let _ = writeln!(out, "{indent}  \"help\": \"{}\"", esc(d.help()));
@@ -261,6 +272,9 @@ fn sarif_result(file: &str, d: &Diagnostic) -> String {
             json_u32_array(w)
         );
     }
+    if let Some(g) = &d.guard_fact {
+        let _ = write!(out, ",\n            \"guardFact\": \"{}\"", esc(g));
+    }
     out.push('\n');
     out.push_str("          }\n");
     out.push_str("        }");
@@ -285,6 +299,7 @@ mod tests {
                     confidence: Confidence::Confirmed,
                     may_be_spurious: false,
                     witness: Some(vec![1, 0]),
+                    guard_fact: None,
                 },
                 Diagnostic {
                     code: "stuck-loop",
@@ -296,6 +311,7 @@ mod tests {
                     confidence: Confidence::Confirmed,
                     may_be_spurious: true,
                     witness: None,
+                    guard_fact: Some("interval domain: a[0] is [1, +inf]".into()),
                 },
             ],
             refuted_races: 1,
@@ -317,8 +333,18 @@ mod tests {
         assert!(text.contains("f.fx10:2: warning[race-write-write]:"));
         assert!(text.contains("witness: successor choices [1, 0]"));
         assert!(text.contains("[may-be-spurious]"));
+        assert!(text.contains("value-analysis: interval domain: a[0] is [1, +inf]"));
         assert!(text.contains("1 error, 1 warning, 0 notes"));
         assert!(text.contains("1 statically-reported race refuted"));
+    }
+
+    #[test]
+    fn guard_fact_travels_in_json_and_sarif() {
+        let json = render_json("f.fx10", &sample());
+        assert!(json.contains("\"guard_fact\": \"interval domain: a[0] is [1, +inf]\""));
+        assert!(json.contains("\"guard_fact\": null"));
+        let sarif = render_sarif("f.fx10", &sample());
+        assert!(sarif.contains("\"guardFact\": \"interval domain: a[0] is [1, +inf]\""));
     }
 
     #[test]

@@ -12,11 +12,20 @@
 //!   reachable `parallel(T)` (Theorem 2), so an empty MHP row for every
 //!   label the async body can execute (including transitively-called
 //!   methods) proves the body never overlaps anything.
-//! * **stuck-loop** — a `while (a[d] != 0)` where no instruction in the
-//!   whole program writes `a[d]` and the analyzed input has `a[d] ≠ 0`:
-//!   the guard is a constant non-zero, so reaching the loop diverges.
+//! * **stuck-loop** — abstract interpretation proves the guard cell can
+//!   never be 0 at the loop head, so reaching the loop diverges. A
+//!   `⊤`-initial run makes the proof input-general ("for every input");
+//!   otherwise the run over the analyzed input gives an input-specific
+//!   proof. When the value analysis is not licensed (budget-cut MHP
+//!   relation, round-cap fallback), the pass degrades to the original
+//!   syntactic rule: guard cell non-zero on entry and never written.
+//! * **oob-write** / **oob-read** — the program declares `array[N];` and
+//!   an instruction mentions a constant index `>= N`. The runtime array
+//!   is padded so execution cannot fault; the access is still a definite
+//!   bounds violation against the declared interface.
 
 use crate::diag::{Confidence, Diagnostic, Severity};
+use fx10_absint::Absint;
 use fx10_core::analysis::Analysis;
 use fx10_core::race::{accesses, AccessKind};
 use fx10_semantics::ArrayState;
@@ -39,6 +48,7 @@ fn confirmed(
         confidence: Confidence::Confirmed,
         may_be_spurious: false,
         witness: None,
+        guard_fact: None,
     }
 }
 
@@ -218,35 +228,116 @@ pub fn inert_asyncs(p: &Program, a: &Analysis) -> Vec<Diagnostic> {
     out
 }
 
-/// `stuck-loop`: provable divergence under the analyzed input.
-pub fn stuck_loops(p: &Program, input: &[i64]) -> Vec<Diagnostic> {
-    let entry = ArrayState::with_input(p, input);
-    // Cells some instruction writes, anywhere in the program.
-    let written: Vec<usize> = accesses(p)
-        .iter()
-        .filter(|a| a.kind == AccessKind::Write)
-        .map(|a| a.index)
-        .collect();
+/// `stuck-loop`: provable divergence.
+///
+/// `absint`, when licensed, carries `(general, specific)` — the
+/// `⊤`-initial run and the analyzed-input run. A loop divergent in the
+/// general run diverges **for every input**; one divergent only in the
+/// specific run diverges under the analyzed input. With `absint = None`
+/// the pass falls back to the original syntactic argument (guard cell
+/// non-zero on entry, never written anywhere) — strictly weaker, but
+/// needing no MHP relation.
+pub fn stuck_loops(
+    p: &Program,
+    input: &[i64],
+    absint: Option<(&Absint, &Absint)>,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    p.for_each_instr(|_, i| {
-        if let InstrKind::While { idx, .. } = &i.kind {
-            if entry.get(*idx) != 0 && !written.contains(idx) {
+    match absint {
+        Some((general, specific)) => {
+            let mut seen: Vec<Label> = Vec::new();
+            for &(l, idx, v) in general.divergent_loops() {
+                seen.push(l);
                 out.push(confirmed(
                     "stuck-loop",
                     Severity::Error,
-                    p.labels().line(i.label),
-                    p.labels().display(i.label),
+                    p.labels().line(l),
+                    p.labels().display(l),
                     format!(
-                        "guard a[{}] = {} on entry and no instruction ever writes a[{}]: \
-                         reaching this loop diverges",
-                        idx,
-                        entry.get(*idx),
-                        idx
+                        "guard a[{idx}] is {v} at the loop head and never 0 \
+                         ({} domain): reaching this loop diverges for every input",
+                        general.domain()
+                    ),
+                ));
+            }
+            for &(l, idx, v) in specific.divergent_loops() {
+                if seen.contains(&l) {
+                    continue;
+                }
+                out.push(confirmed(
+                    "stuck-loop",
+                    Severity::Error,
+                    p.labels().line(l),
+                    p.labels().display(l),
+                    format!(
+                        "guard a[{idx}] is {v} at the loop head and never 0 \
+                         ({} domain): reaching this loop diverges under the analyzed input",
+                        specific.domain()
                     ),
                 ));
             }
         }
-    });
+        None => {
+            let entry = ArrayState::with_input(p, input);
+            // Cells some instruction writes, anywhere in the program.
+            let written: Vec<usize> = accesses(p)
+                .iter()
+                .filter(|a| a.kind == AccessKind::Write)
+                .map(|a| a.index)
+                .collect();
+            p.for_each_instr(|_, i| {
+                if let InstrKind::While { idx, .. } = &i.kind {
+                    if entry.get(*idx) != 0 && !written.contains(idx) {
+                        out.push(confirmed(
+                            "stuck-loop",
+                            Severity::Error,
+                            p.labels().line(i.label),
+                            p.labels().display(i.label),
+                            format!(
+                                "guard a[{}] = {} on entry and no instruction ever writes a[{}]: \
+                                 reaching this loop diverges",
+                                idx,
+                                entry.get(*idx),
+                                idx
+                            ),
+                        ));
+                    }
+                }
+            });
+        }
+    }
+    out
+}
+
+/// `oob-write` / `oob-read`: constant indices outside a declared
+/// `array[N];` bound. Purely syntactic (FX10 indices are literals), so
+/// every finding is a definite violation of the declared interface.
+pub fn oob_accesses(p: &Program) -> Vec<Diagnostic> {
+    let Some(n) = p.declared_len() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for a in accesses(p) {
+        if a.index < n {
+            continue;
+        }
+        let (code, verb) = match a.kind {
+            AccessKind::Write => ("oob-write", "writes"),
+            AccessKind::Read => ("oob-read", "reads"),
+        };
+        out.push(confirmed(
+            code,
+            Severity::Error,
+            p.labels().line(a.label),
+            p.labels().display(a.label),
+            format!(
+                "{} {verb} a[{}] but the program declares `array[{n}]` \
+                 (valid indices 0..{n})",
+                p.labels().display(a.label),
+                a.index,
+            ),
+        ));
+    }
     out
 }
 
@@ -311,18 +402,76 @@ mod tests {
         assert!(inert_asyncs(&p, &analyze(&p)).is_empty());
     }
 
+    fn absint_pair(p: &Program, input: &[i64]) -> (Absint, Absint) {
+        use fx10_absint::{AbsintConfig, Domain};
+        let a = analyze(p);
+        let general = Absint::analyze(p, a.mhp(), &AbsintConfig::top(Domain::Interval));
+        let specific = Absint::analyze(p, a.mhp(), &AbsintConfig::with_input(Domain::Interval, input));
+        (general, specific)
+    }
+
     #[test]
-    fn unwritten_nonzero_guard_is_stuck() {
+    fn unwritten_nonzero_guard_is_stuck_syntactically() {
         let p = Program::parse("def main() { W: while (a[1] != 0) { skip; } }").unwrap();
         // Guard cell zero on entry: fine.
-        assert!(stuck_loops(&p, &[]).is_empty());
+        assert!(stuck_loops(&p, &[], None).is_empty());
         // Non-zero and never written: provable divergence.
-        let d = stuck_loops(&p, &[0, 7]);
+        let d = stuck_loops(&p, &[0, 7], None);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].code, "stuck-loop");
         assert_eq!(d[0].severity, Severity::Error);
         // A writer anywhere in the program disarms the proof.
         let q = Program::parse("def main() { while (a[1] != 0) { a[1] = 0; } }").unwrap();
-        assert!(stuck_loops(&q, &[0, 7]).is_empty());
+        assert!(stuck_loops(&q, &[0, 7], None).is_empty());
+    }
+
+    #[test]
+    fn absint_upgrades_stuck_loop_to_input_general() {
+        // The program itself sets the guard non-zero: divergence holds
+        // for *every* input, which the syntactic rule cannot see (the
+        // guard cell is written).
+        let p = Program::parse("def main() { a[0] = 7; W: while (a[0] != 0) { skip; } }").unwrap();
+        let (g, s) = absint_pair(&p, &[]);
+        let d = stuck_loops(&p, &[], Some((&g, &s)));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("for every input"), "{}", d[0].message);
+        // Input-specific: guard from the input, written only in dead code.
+        let q = Program::parse(
+            "def main() { W: while (a[1] != 0) { skip; } }\n\
+             def ghost() { a[1] = 0; }",
+        )
+        .unwrap();
+        let (g, s) = absint_pair(&q, &[0, 7]);
+        let d = stuck_loops(&q, &[0, 7], Some((&g, &s)));
+        assert_eq!(d.len(), 1);
+        assert!(
+            d[0].message.contains("under the analyzed input"),
+            "{}",
+            d[0].message
+        );
+        // And the syntactic fallback misses it (a writer exists).
+        assert!(stuck_loops(&q, &[0, 7], None).is_empty());
+    }
+
+    #[test]
+    fn declared_bounds_police_constant_indices() {
+        let p = Program::parse(
+            "array[2];\n\
+             def main() {\n\
+               W: a[2] = 1;\n\
+               R: a[0] = a[3] + 1;\n\
+               G: while (a[1] != 0) { a[1] = 0; }\n\
+             }",
+        )
+        .unwrap();
+        let d = oob_accesses(&p);
+        let codes: Vec<&str> = d.iter().map(|x| x.code).collect();
+        assert_eq!(codes, vec!["oob-write", "oob-read"]);
+        assert!(d[0].message.contains("a[2]"), "{}", d[0].message);
+        assert!(d[1].message.contains("a[3]"), "{}", d[1].message);
+        assert!(d.iter().all(|x| x.severity == Severity::Error && x.line > 0));
+        // No declaration, no findings.
+        let q = Program::parse("def main() { a[9] = 1; }").unwrap();
+        assert!(oob_accesses(&q).is_empty());
     }
 }

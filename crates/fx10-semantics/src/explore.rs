@@ -209,6 +209,56 @@ pub fn explore_budgeted(
     budget: Budget,
     cancel: &CancelToken,
 ) -> Result<Exploration, Fx10Error> {
+    explore_budgeted_with_sink(p, input, config, budget, cancel, &mut |_, _| {})
+}
+
+/// One concrete observation for the abstract-interpretation differential
+/// gate: the array cells of a visited state together with that state's
+/// *front* labels (`FTlabels`, the next-executable instructions).
+///
+/// A sound value analysis must, for every sample, every front label `l`
+/// and every cell `d`, have `cells[d] ∈ γ(Env[l][d])`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontSample {
+    /// The array state `A` of the visited state.
+    pub cells: Vec<i64>,
+    /// `FTlabels(T)` of the visited state's tree, sorted.
+    pub fronts: Vec<fx10_syntax::Label>,
+}
+
+/// [`explore_budgeted`] plus a per-state sampling hook: every state
+/// admitted to the visited set (the initial state included) is handed to
+/// `sink` as a [`FrontSample`]. Sampling covers exactly the states the
+/// returned [`Exploration`] counts, so on a truncated run the samples are
+/// the explored prefix — still sound to test containment against, since
+/// visited ⊆ reachable.
+pub fn explore_sampled(
+    p: &Program,
+    input: &[i64],
+    config: ExploreConfig,
+    budget: Budget,
+    cancel: &CancelToken,
+    sink: &mut dyn FnMut(FrontSample),
+) -> Result<Exploration, Fx10Error> {
+    explore_budgeted_with_sink(p, input, config, budget, cancel, &mut |array, tree| {
+        let mut fronts: Vec<fx10_syntax::Label> =
+            crate::parallel::ftlabels(tree).into_iter().collect();
+        fronts.sort_unstable();
+        sink(FrontSample {
+            cells: array.cells().to_vec(),
+            fronts,
+        })
+    })
+}
+
+fn explore_budgeted_with_sink(
+    p: &Program,
+    input: &[i64],
+    config: ExploreConfig,
+    budget: Budget,
+    cancel: &CancelToken,
+    sink: &mut dyn FnMut(&ArrayState, &Tree),
+) -> Result<Exploration, Fx10Error> {
     // A pre-cancelled token stops before any work; the in-flight poll
     // below only fires on the stride.
     cancel.check()?;
@@ -222,6 +272,7 @@ pub fn explore_budgeted(
     let mut approx_bytes = init.approx_bytes();
     let mut visited: HashSet<State> = HashSet::new();
     let mut queue: VecDeque<State> = VecDeque::new();
+    sink(&init.array, &init.tree);
     visited.insert(init.clone());
     queue.push_back(init);
 
@@ -264,6 +315,7 @@ pub fn explore_budgeted(
                 tree: shape(&config, s.tree),
             };
             if visited.insert(next.clone()) {
+                sink(&next.array, &next.tree);
                 approx_bytes += next.approx_bytes();
                 queue.push_back(next);
             }

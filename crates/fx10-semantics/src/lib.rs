@@ -37,9 +37,10 @@ pub mod witness;
 
 pub use explore::{
     explore, explore_budgeted, explore_interned_budgeted, explore_parallel,
-    explore_parallel_budgeted, explore_parallel_durable, CheckpointSpec, Durability, Exploration,
-    ExploreConfig, WatchdogSpec,
+    explore_parallel_budgeted, explore_parallel_durable, explore_sampled, CheckpointSpec,
+    Durability, Exploration, ExploreConfig, FrontSample, WatchdogSpec,
 };
+pub use parallel::{ftlabels, parallel, LabelPair};
 pub use intern::{ArrayId, Interner, StmtId, TreeId};
 pub use interp::{run, run_budgeted, run_result, RunOutcome, Scheduler};
 pub use snapshot::{fingerprint as snapshot_fingerprint, ExplorerSnapshot};

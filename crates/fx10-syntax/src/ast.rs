@@ -198,6 +198,7 @@ pub struct Program {
     methods: Vec<Method>,
     labels: LabelTable,
     array_len: usize,
+    declared_len: Option<usize>,
     main: FuncId,
 }
 
@@ -209,6 +210,20 @@ impl Program {
     /// is one past the largest index mentioned (at least 1): the paper
     /// requires a non-empty array `a[0..n-1]` fully initialized at start.
     pub fn from_ast(methods: Vec<(String, Vec<Ast>)>) -> Result<Program, ValidateError> {
+        Program::from_ast_with_decl(methods, None)
+    }
+
+    /// Like [`Program::from_ast`], but with an optional `array[N];`
+    /// declaration giving the *intended* bounds of `a`.
+    ///
+    /// The declaration is pure metadata for static analysis (the
+    /// `oob-write` / `oob-read` lints flag accesses at indices `>= N`);
+    /// the runtime array is still sized to cover every index the program
+    /// mentions, so execution never faults on a declared-too-small array.
+    pub fn from_ast_with_decl(
+        methods: Vec<(String, Vec<Ast>)>,
+        declared_len: Option<usize>,
+    ) -> Result<Program, ValidateError> {
         if methods.is_empty() {
             return Err(ValidateError::NoMethods);
         }
@@ -314,7 +329,8 @@ impl Program {
         Ok(Program {
             methods: built,
             labels,
-            array_len: max_idx + 1,
+            array_len: (max_idx + 1).max(declared_len.unwrap_or(0)),
+            declared_len,
             main,
         })
     }
@@ -364,8 +380,22 @@ impl Program {
     }
 
     /// The length `n` of the shared array `a` (indices `0..n-1`).
+    ///
+    /// This is the *runtime* length: one past the largest index any
+    /// instruction mentions, or the declared length, whichever is larger —
+    /// execution is always in-bounds by construction.
     pub fn array_len(&self) -> usize {
         self.array_len
+    }
+
+    /// The `array[N];` declaration, when the source carried one.
+    ///
+    /// Static analysis treats `N` as the intended bounds of `a`: a
+    /// constant index `>= N` is a definite out-of-bounds access even
+    /// though the runtime array (see [`Program::array_len`]) is padded to
+    /// cover it.
+    pub fn declared_len(&self) -> Option<usize> {
+        self.declared_len
     }
 
     /// Visits every instruction of every method, passing the enclosing
@@ -421,6 +451,28 @@ mod tests {
     fn array_len_is_max_index_plus_one() {
         let p = sample();
         assert_eq!(p.array_len(), 3);
+        assert_eq!(p.declared_len(), None);
+    }
+
+    #[test]
+    fn declared_len_is_metadata_only() {
+        // Declared smaller than the max index: the runtime array still
+        // covers every access; the declaration survives as metadata.
+        let small = Program::from_ast_with_decl(
+            vec![("main".to_string(), vec![assign(4, Expr::Const(1))])],
+            Some(2),
+        )
+        .unwrap();
+        assert_eq!(small.array_len(), 5);
+        assert_eq!(small.declared_len(), Some(2));
+        // Declared larger: the array grows to the declaration.
+        let big = Program::from_ast_with_decl(
+            vec![("main".to_string(), vec![assign(0, Expr::Const(1))])],
+            Some(8),
+        )
+        .unwrap();
+        assert_eq!(big.array_len(), 8);
+        assert_eq!(big.declared_len(), Some(8));
     }
 
     #[test]

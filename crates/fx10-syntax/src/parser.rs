@@ -4,7 +4,8 @@
 //! naming conventions its examples use:
 //!
 //! ```text
-//! program ::= def*
+//! program ::= decl? def*
+//! decl    ::= "array" "[" num "]" ";"        // intended bounds of `a`
 //! def     ::= "def" ident "(" ")" block
 //! block   ::= "{" stmt* "}"
 //! stmt    ::= [ident ":"] instr
@@ -281,9 +282,30 @@ impl Parser {
         }
     }
 
-    fn program(&mut self) -> Result<Vec<(String, Vec<Ast>)>, ParseError> {
+    /// `array [ num ] ;` — the optional bounds declaration. The caller has
+    /// checked that the next tokens are `array` `[`.
+    fn array_decl(&mut self) -> Result<usize, ParseError> {
+        self.next(); // `array`
+        let n = self.array_index()?;
+        self.expect(Tok::Semi)?;
+        Ok(n)
+    }
+
+    fn program(&mut self) -> Result<(Vec<(String, Vec<Ast>)>, Option<usize>), ParseError> {
         let mut methods = Vec::new();
+        let mut declared = None;
         while self.peek().is_some() {
+            if let (Some(Tok::Ident(kw)), Some((Tok::LBrack, _))) =
+                (self.peek(), self.toks.get(self.pos + 1))
+            {
+                if kw == "array" {
+                    if declared.is_some() {
+                        return Err(self.err("duplicate `array[N];` declaration"));
+                    }
+                    declared = Some(self.array_decl()?);
+                    continue;
+                }
+            }
             match self.next() {
                 Some(Tok::Ident(kw)) if kw == "def" => {}
                 _ => {
@@ -299,7 +321,7 @@ impl Parser {
             let body = self.block()?;
             methods.push((name, body));
         }
-        Ok(methods)
+        Ok((methods, declared))
     }
 
     fn block(&mut self) -> Result<Vec<Ast>, ParseError> {
@@ -423,8 +445,8 @@ impl Program {
     pub fn parse(src: &str) -> Result<Program, ParseError> {
         let toks = lex(src)?;
         let mut p = Parser { toks, pos: 0 };
-        let methods = p.program()?;
-        Ok(Program::from_ast(methods)?)
+        let (methods, declared) = p.program()?;
+        Ok(Program::from_ast_with_decl(methods, declared)?)
     }
 }
 
@@ -553,6 +575,28 @@ mod tests {
         // Builder-constructed programs have no source lines.
         let q = Program::from_ast(vec![("main".into(), vec![crate::build::skip()])]).unwrap();
         assert_eq!(q.labels().line(q.body(q.main()).head().label), 0);
+    }
+
+    #[test]
+    fn array_declaration_sets_declared_len() {
+        let p = Program::parse("array[4];\ndef main() { a[1] = 0; }").unwrap();
+        assert_eq!(p.declared_len(), Some(4));
+        assert_eq!(p.array_len(), 4);
+        // Declared-too-small still parses: the oob lints, not the parser,
+        // police the bounds; the runtime array covers every access.
+        let q = Program::parse("array[1];\ndef main() { a[3] = 0; }").unwrap();
+        assert_eq!(q.declared_len(), Some(1));
+        assert_eq!(q.array_len(), 4);
+    }
+
+    #[test]
+    fn duplicate_or_malformed_array_declaration_is_rejected() {
+        assert!(Program::parse("array[2];\narray[3];\ndef main() { skip; }").is_err());
+        assert!(Program::parse("array[];\ndef main() { skip; }").is_err());
+        assert!(Program::parse("array[2]\ndef main() { skip; }").is_err());
+        // `array` is still a legal method name (dispatch keys on `array [`).
+        let p = Program::parse("def array() { skip; }\ndef main() { array(); }").unwrap();
+        assert!(p.find_method("array").is_some());
     }
 
     #[test]

@@ -10,6 +10,9 @@ use std::fmt::Write;
 /// Renders the whole program.
 pub fn program(p: &Program) -> String {
     let mut out = String::new();
+    if let Some(n) = p.declared_len() {
+        let _ = writeln!(out, "array[{n}];");
+    }
     for m in p.methods() {
         let _ = writeln!(out, "def {}() {{", m.name());
         stmt(p, m.body(), 1, &mut out);
@@ -100,6 +103,14 @@ mod tests {
         let printed = program(&p1);
         let p2 = Program::parse(&printed).unwrap();
         assert_eq!(p1, p2, "pretty-printed program must re-parse identically");
+    }
+
+    #[test]
+    fn array_declaration_round_trips() {
+        let p1 = Program::parse("array[7];\ndef main() { a[2] = 1; }").unwrap();
+        let printed = program(&p1);
+        assert!(printed.starts_with("array[7];\n"));
+        assert_eq!(p1, Program::parse(&printed).unwrap());
     }
 
     #[test]

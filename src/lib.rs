@@ -18,8 +18,11 @@
 //!   exhaustive exploration, and a phase-refined MHP analysis.
 //! - [`robust`] — the shared robustness layer: typed errors, resource
 //!   budgets, cooperative cancellation and the fault-injection plan.
+//! - [`absint`] — the abstract-interpretation value analysis of the
+//!   shared array and its MHP guard-feasibility oracle.
 
 #![warn(missing_docs)]
+pub use fx10_absint as absint;
 pub use fx10_clocked as clocked;
 pub use fx10_core as analysis;
 pub use fx10_frontend as frontend;

@@ -1,0 +1,110 @@
+//! The differential soundness gate for the abstract interpreter, run as
+//! a repo-wide test: on every checked-in `.fx10` program and on random
+//! programs, the abstract facts must over-approximate the exact
+//! explorer's reachable states (every visited concrete state at every
+//! front label is admitted by the label's abstract environment), and no
+//! MHP pair the feasibility oracle prunes may occur in the exact dynamic
+//! MHP relation. Both checks run at all three domains — const, interval,
+//! parity — because each has a different Galois connection to break.
+
+use fx10_absint::{soundness_gate_all, Domain, MAX_VIOLATIONS};
+use fx10_suite::{random_fx10, RandomConfig};
+use fx10_syntax::Program;
+use proptest::prelude::*;
+
+const GATE_STATES: usize = 30_000;
+
+fn fixture_files() -> Vec<std::path::PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/programs");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("programs/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "fx10"))
+        .filter(|p| {
+            // `bad_*` fixtures exist to fail the parser.
+            !p.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .starts_with("bad_")
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 10, "fixture sweep looks too small: {files:?}");
+    files
+}
+
+#[test]
+fn gate_holds_on_every_checked_in_program() {
+    for path in fixture_files() {
+        let src = std::fs::read_to_string(&path).expect("fixture readable");
+        let p = Program::parse(&src).expect("checked-in fixtures parse");
+        for input in [&[][..], &[1, 2, 0, 3][..]] {
+            let reports = soundness_gate_all(&p, input, GATE_STATES)
+                .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            assert_eq!(reports.len(), Domain::ALL.len());
+            for r in reports {
+                assert!(
+                    r.sound(),
+                    "{path:?} input {input:?} {}: {:?}",
+                    r.domain,
+                    r.violations
+                );
+                assert!(r.violations.len() <= MAX_VIOLATIONS + 1);
+                assert!(
+                    r.pairs_after <= r.pairs_before,
+                    "{path:?}: pruning must never add pairs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_reports_name_every_domain() {
+    let p = Program::parse("def main() { async { a[0] = a[0] + 1; } a[0] = a[1] + 1; }").unwrap();
+    let reports = soundness_gate_all(&p, &[0, 0], GATE_STATES).unwrap();
+    let domains: Vec<Domain> = reports.iter().map(|r| r.domain).collect();
+    assert_eq!(domains, Domain::ALL.to_vec());
+    for r in &reports {
+        assert!(r.states > 0 && r.checks > 0);
+    }
+}
+
+fn rand_cfg(seed: u64, methods: usize, stmts: usize, depth: usize) -> RandomConfig {
+    RandomConfig {
+        methods,
+        stmts_per_method: stmts,
+        max_depth: depth,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Galois soundness on random programs: whatever the generator
+    /// emits — loops, nested finish/async, calls — the abstract facts
+    /// contain the exact semantics at every domain, and pruned pairs
+    /// never show up dynamically. Truncated explorations keep the gate
+    /// valid on the explored prefix, so no prop_assume is needed.
+    #[test]
+    fn random_programs_pass_the_gate_at_all_domains(
+        seed in 0u64..10_000,
+        methods in 1usize..4,
+        stmts in 1usize..5,
+        depth in 0usize..3,
+        input in proptest::collection::vec(-3i64..4, 0..4),
+    ) {
+        let p = random_fx10(rand_cfg(seed, methods, stmts, depth));
+        let reports = soundness_gate_all(&p, &input, 10_000).expect("gate runs");
+        for r in reports {
+            prop_assert!(
+                r.sound(),
+                "seed {} {}: {:?}",
+                seed,
+                r.domain,
+                r.violations
+            );
+        }
+    }
+}
