@@ -10,6 +10,7 @@ use crate::solver::{
     solve_pair_naive_budgeted, solve_pair_worklist_budgeted, solve_set_naive_budgeted,
     solve_set_worklist_budgeted, PairSolution, SetSolution,
 };
+use fx10_robust::backoff::XorShift64;
 use fx10_robust::{Budget, BudgetMeter, CancelToken, Exhaustion, FaultPlan, Fx10Error, Stop};
 use fx10_syntax::{FuncId, Label, Program};
 
@@ -462,6 +463,10 @@ impl SoundnessReport {
 /// final answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LadderRung {
+    /// The multi-process shard fleet finished: the answer is the *exact*
+    /// dynamic MHP relation, computed across supervised worker
+    /// processes (possibly surviving restarts and migrations).
+    ShardedExplore,
     /// The multi-threaded durable explorer finished: the answer is the
     /// *exact* dynamic MHP relation.
     ParallelExplore,
@@ -481,6 +486,7 @@ pub enum LadderRung {
 impl std::fmt::Display for LadderRung {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            LadderRung::ShardedExplore => write!(f, "sharded-explore"),
             LadderRung::ParallelExplore => write!(f, "parallel-explore"),
             LadderRung::SequentialExplore => write!(f, "sequential-explore"),
             LadderRung::ContextSensitive => write!(f, "context-sensitive"),
@@ -495,7 +501,9 @@ impl LadderRung {
     pub fn is_dynamic(&self) -> bool {
         matches!(
             self,
-            LadderRung::ParallelExplore | LadderRung::SequentialExplore
+            LadderRung::ShardedExplore
+                | LadderRung::ParallelExplore
+                | LadderRung::SequentialExplore
         )
     }
 }
@@ -521,45 +529,55 @@ pub struct SupervisedAnswer {
     /// final rung may answer while exhausted; every other rung descends
     /// instead.
     pub exhausted: Option<Exhaustion>,
+    /// Worker-process restarts the sharded rung performed (0 when that
+    /// rung did not run).
+    pub shard_restarts: u32,
+    /// Shard migrations the sharded rung performed (0 when that rung
+    /// did not run).
+    pub shard_migrations: u32,
 }
 
-/// xorshift64 — a tiny, dependency-free PRNG for backoff jitter. Not for
-/// anything security- or statistics-sensitive.
-struct XorShift64(u64);
+/// What one sharded-exploration attempt produced — the multi-process
+/// analogue of [`fx10_semantics::Exploration`], plus the supervision
+/// provenance (`events`, restart and migration counts) the answer must
+/// carry.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The dynamic MHP pairs, `(min, max)`-normalized.
+    pub pairs: std::collections::BTreeSet<(Label, Label)>,
+    /// Theorem 1's verdict over every visited state.
+    pub deadlock_free: bool,
+    /// Did the fleet stop at a budget rather than quiescence?
+    pub truncated: bool,
+    /// What was exhausted, when truncated.
+    pub exhausted: Option<Exhaustion>,
+    /// Supervision events (restarts, migrations, quiescence), in order.
+    pub events: Vec<String>,
+    /// Worker-process restarts performed.
+    pub restarts: u32,
+    /// Shard migrations performed.
+    pub migrations: u32,
+}
 
-impl XorShift64 {
-    fn new(seed: u64) -> Self {
-        // xorshift has a single absorbing state at zero; avoid it.
-        XorShift64(seed | 1)
-    }
+/// The boxed backend signature of a [`ShardRunner`]:
+/// `(program, input, cancel) → outcome`.
+pub type ShardBackend = std::sync::Arc<
+    dyn Fn(&Program, &[i64], &CancelToken) -> Result<ShardOutcome, Fx10Error> + Send + Sync,
+>;
 
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
+/// A pluggable multi-process exploration backend for the ladder's top
+/// rung. The supervisor crate cannot spawn `fx10 shard-worker` itself
+/// (it does not know the binary), so the CLI injects a closure that
+/// does; library users without a worker binary simply leave it unset.
+#[derive(Clone)]
+pub struct ShardRunner(
+    /// The backend closure.
+    pub ShardBackend,
+);
 
-    /// Decorrelated-jitter backoff: uniform in `[base, 3 · prev]`,
-    /// clamped to `cap`. Successive sleeps are decorrelated (each draws
-    /// from a window anchored at the *previous* sleep), which avoids the
-    /// retry-herd synchronization plain exponential backoff suffers from.
-    fn backoff(
-        &mut self,
-        base: std::time::Duration,
-        prev: std::time::Duration,
-        cap: std::time::Duration,
-    ) -> std::time::Duration {
-        let lo = base.as_micros() as u64;
-        let hi = (prev.as_micros() as u64).saturating_mul(3).max(lo);
-        let pick = if hi > lo {
-            lo + self.next_u64() % (hi - lo + 1)
-        } else {
-            lo
-        };
-        std::time::Duration::from_micros(pick).min(cap)
+impl std::fmt::Debug for ShardRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShardRunner(..)")
     }
 }
 
@@ -609,6 +627,10 @@ pub struct Supervisor {
     pub checkpoint: Option<fx10_semantics::CheckpointSpec>,
     /// Seed for the backoff jitter (any value; zero is remapped).
     pub backoff_seed: u64,
+    /// Optional multi-process backend. When set, the ladder gains a top
+    /// rung — **sharded-explore** — tried before the in-process
+    /// parallel explorer.
+    pub shard_runner: Option<ShardRunner>,
 }
 
 impl Default for Supervisor {
@@ -625,6 +647,7 @@ impl Default for Supervisor {
             solver: SolverKind::Worklist,
             checkpoint: None,
             backoff_seed: 0x9E37_79B9_7F4A_7C15,
+            shard_runner: None,
         }
     }
 }
@@ -634,6 +657,15 @@ impl Supervisor {
     /// some rung answers. `faults` is handed to every parallel-explore
     /// attempt (the injection harness uses this to force descents); the
     /// lower rungs never see it.
+    ///
+    /// When a [`ShardRunner`] is installed, the ladder starts one rung
+    /// higher: **sharded-explore** → parallel-explore →
+    /// sequential-explore → the static rungs. A truncated sharded
+    /// answer descends straight to the static rungs (same reasoning as
+    /// the parallel rung — a dynamic lower bound cannot be patched by a
+    /// smaller machine); any other sharded failure falls through to the
+    /// in-process parallel explorer. The answer carries the sharded
+    /// rung's restart/migration provenance either way.
     pub fn run(
         &self,
         p: &Program,
@@ -642,6 +674,67 @@ impl Supervisor {
         faults: &FaultPlan,
     ) -> Result<SupervisedAnswer, Fx10Error> {
         let mut trace = Vec::new();
+        let mut shard_restarts = 0u32;
+        let mut shard_migrations = 0u32;
+        if let Some(runner) = &self.shard_runner {
+            cancel.check()?;
+            match (runner.0)(p, input, cancel) {
+                Ok(o) => {
+                    for ev in &o.events {
+                        trace.push(format!("sharded-explore: {ev}"));
+                    }
+                    shard_restarts = o.restarts;
+                    shard_migrations = o.migrations;
+                    if !o.truncated {
+                        trace.push(format!(
+                            "sharded-explore answered ({} restart(s), {} migration(s))",
+                            o.restarts, o.migrations
+                        ));
+                        return Ok(SupervisedAnswer {
+                            rung: LadderRung::ShardedExplore,
+                            trace,
+                            pairs: o.pairs,
+                            deadlock_free: Some(o.deadlock_free),
+                            exhausted: None,
+                            shard_restarts,
+                            shard_migrations,
+                        });
+                    }
+                    let what = o
+                        .exhausted
+                        .map_or_else(|| "truncated".to_string(), |x| x.to_string());
+                    trace.push(format!(
+                        "sharded-explore truncated ({what}); descending to the static rungs"
+                    ));
+                    let mut ans = self.static_rungs(p, cancel, trace)?;
+                    ans.shard_restarts = shard_restarts;
+                    ans.shard_migrations = shard_migrations;
+                    return Ok(ans);
+                }
+                Err(Fx10Error::Cancelled) => return Err(Fx10Error::Cancelled),
+                Err(e) => {
+                    trace.push(format!(
+                        "sharded-explore failed: {e}; descending to parallel-explore"
+                    ));
+                }
+            }
+        }
+        let mut ans = self.run_threaded(p, input, cancel, faults, trace)?;
+        ans.shard_restarts = shard_restarts;
+        ans.shard_migrations = shard_migrations;
+        Ok(ans)
+    }
+
+    /// Rungs 1–4: the single-machine ladder (parallel-explore
+    /// downwards), continuing an existing `trace`.
+    fn run_threaded(
+        &self,
+        p: &Program,
+        input: &[i64],
+        cancel: &CancelToken,
+        faults: &FaultPlan,
+        mut trace: Vec<String>,
+    ) -> Result<SupervisedAnswer, Fx10Error> {
         let mut rng = XorShift64::new(self.backoff_seed);
         let mut jobs = self.jobs.max(1);
         let mut prev_backoff = self.base_backoff;
@@ -695,6 +788,8 @@ impl Supervisor {
                         pairs: e.mhp,
                         deadlock_free: Some(e.deadlock_free),
                         exhausted: None,
+                        shard_restarts: 0,
+                        shard_migrations: 0,
                     });
                 }
                 Ok(e) => {
@@ -745,6 +840,8 @@ impl Supervisor {
                     pairs: e.mhp,
                     deadlock_free: Some(e.deadlock_free),
                     exhausted: None,
+                    shard_restarts: 0,
+                    shard_migrations: 0,
                 });
             }
             Ok(Ok(e)) => {
@@ -777,6 +874,8 @@ impl Supervisor {
                 pairs: normalized_pairs(&cs),
                 deadlock_free: None,
                 exhausted: None,
+                shard_restarts: 0,
+                shard_migrations: 0,
             });
         }
         trace.push(format!(
@@ -797,6 +896,8 @@ impl Supervisor {
             pairs: normalized_pairs(&ci),
             deadlock_free: None,
             exhausted: ci.exhausted,
+            shard_restarts: 0,
+            shard_migrations: 0,
         })
     }
 }

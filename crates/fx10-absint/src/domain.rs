@@ -152,7 +152,7 @@ impl AbsVal {
             (Even, Even) => Even,
             (Odd, Odd) => Odd,
             _ => {
-                debug_assert!(matches!(d, Domain::Parity) || false, "mixed-domain join");
+                debug_assert!(matches!(d, Domain::Parity), "mixed-domain join");
                 Top
             }
         }
@@ -297,7 +297,11 @@ mod tests {
             (Const(1), Const(1), Const(1)),
             (Const(1), Const(2), Top),
             (Bot, Const(5), Const(5)),
-            (Range(Some(0), Some(3)), Range(Some(2), Some(9)), Range(Some(0), Some(9))),
+            (
+                Range(Some(0), Some(3)),
+                Range(Some(2), Some(9)),
+                Range(Some(0), Some(9)),
+            ),
             (Range(None, Some(3)), Range(Some(2), None), Top),
             (Even, Even, Even),
             (Even, Odd, Top),
@@ -326,7 +330,10 @@ mod tests {
         assert_eq!(b.widen(down, d), Range(Some(1), Some(5)));
         let further = Range(Some(1), Some(5)).join(Range(Some(-3), Some(5)), d);
         // -3 is below every threshold → open below.
-        assert_eq!(Range(Some(1), Some(5)).widen(further, d), Range(None, Some(5)));
+        assert_eq!(
+            Range(Some(1), Some(5)).widen(further, d),
+            Range(None, Some(5))
+        );
     }
 
     #[test]
@@ -340,15 +347,23 @@ mod tests {
         // Parity flips even at the wrap point: MAX (odd) + 1 = MIN (even).
         assert_eq!(Odd.plus1(), Even);
         assert_eq!(Even.plus1(), Odd);
-        assert!(AbsVal::of(Domain::Parity, i64::MAX).plus1().contains(i64::MIN));
+        assert!(AbsVal::of(Domain::Parity, i64::MAX)
+            .plus1()
+            .contains(i64::MIN));
     }
 
     #[test]
     fn guard_refinements() {
         assert_eq!(Const(0).refine_nonzero(), Bot);
         assert_eq!(Const(7).refine_nonzero(), Const(7));
-        assert_eq!(Range(Some(0), Some(4)).refine_nonzero(), Range(Some(1), Some(4)));
-        assert_eq!(Range(Some(-4), Some(0)).refine_nonzero(), Range(Some(-4), Some(-1)));
+        assert_eq!(
+            Range(Some(0), Some(4)).refine_nonzero(),
+            Range(Some(1), Some(4))
+        );
+        assert_eq!(
+            Range(Some(-4), Some(0)).refine_nonzero(),
+            Range(Some(-4), Some(-1))
+        );
         assert_eq!(Range(Some(0), Some(0)).refine_nonzero(), Bot);
         assert_eq!(Odd.refine_nonzero(), Odd);
 

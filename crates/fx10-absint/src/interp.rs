@@ -101,9 +101,7 @@ impl Absint {
     /// pass `Analysis::mhp()`.
     pub fn analyze(p: &Program, mhp: &PairSet, cfg: &AbsintConfig) -> Absint {
         let n = p.label_count();
-        let width = p
-            .array_len()
-            .max(cfg.input.as_ref().map_or(0, |i| i.len()));
+        let width = p.array_len().max(cfg.input.as_ref().map_or(0, |i| i.len()));
         let init: Vec<AbsVal> = match &cfg.input {
             Some(input) => (0..width)
                 .map(|d| AbsVal::of(cfg.domain, input.get(d).copied().unwrap_or(0)))
@@ -275,8 +273,7 @@ impl Absint {
         match self.env(l) {
             None => false,
             Some(env) => {
-                env.len() == cells.len()
-                    && env.iter().zip(cells).all(|(a, &v)| a.contains(v))
+                env.len() == cells.len() && env.iter().zip(cells).all(|(a, &v)| a.contains(v))
             }
         }
     }
@@ -323,7 +320,11 @@ impl Absint {
         }
         let env = self.env(l).expect("reachable label has an environment");
         let cells: Vec<String> = env.iter().map(|v| v.to_string()).collect();
-        format!("reachable with a = [{}] ({} domain)", cells.join(", "), self.domain)
+        format!(
+            "reachable with a = [{}] ({} domain)",
+            cells.join(", "),
+            self.domain
+        )
     }
 }
 
@@ -665,7 +666,13 @@ impl Engine<'_> {
         }
     }
 
-    fn exec_while(&mut self, l: Label, idx: usize, body: &Stmt, entry: Vec<AbsVal>) -> Option<Vec<AbsVal>> {
+    fn exec_while(
+        &mut self,
+        l: Label,
+        idx: usize,
+        body: &Stmt,
+        entry: Vec<AbsVal>,
+    ) -> Option<Vec<AbsVal>> {
         // Ascending fixpoint with widening; recording suppressed so only
         // the final invariant lands in the environments.
         let saved = std::mem::replace(&mut self.record, false);

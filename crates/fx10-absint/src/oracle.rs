@@ -79,7 +79,10 @@ mod tests {
         assert!(a.mhp().contains(w1, w2), "static MHP has the dead pair");
         assert!(!report.may_happen_in_parallel(w1, w2));
         assert!(report.may_happen_in_parallel(w3, s) == a.mhp().contains(w3, s));
-        assert!(report.pruned.iter().any(|&(x, y)| (x, y) == (w1.min(w2), w1.max(w2))));
+        assert!(report
+            .pruned
+            .iter()
+            .any(|&(x, y)| (x, y) == (w1.min(w2), w1.max(w2))));
     }
 
     #[test]

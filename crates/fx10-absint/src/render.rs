@@ -226,6 +226,9 @@ mod tests {
         assert!(j.contains("\"environments\": ["));
         assert!(j.contains("\"pruning\": {"));
         // Every label appears exactly once.
-        assert_eq!(j.matches("\"label\": ").count(), p.label_count() + a.divergent_loops().len());
+        assert_eq!(
+            j.matches("\"label\": ").count(),
+            p.label_count() + a.divergent_loops().len()
+        );
     }
 }

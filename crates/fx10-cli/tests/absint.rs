@@ -48,7 +48,10 @@ fn assert_golden(args: &[&str], name: &str) {
 
 #[test]
 fn absint_goldens_are_stable() {
-    assert_golden(&["absint", "programs/example22.fx10"], "absint_example22.txt");
+    assert_golden(
+        &["absint", "programs/example22.fx10"],
+        "absint_example22.txt",
+    );
     assert_golden(
         &[
             "absint",
@@ -65,16 +68,29 @@ fn absint_goldens_are_stable() {
         "absint_dead_branch.txt",
     );
     assert_golden(
-        &["absint", "programs/absint_dead_branch.fx10", "--format", "json"],
+        &[
+            "absint",
+            "programs/absint_dead_branch.fx10",
+            "--format",
+            "json",
+        ],
         "absint_dead_branch.json",
     );
 }
 
 #[test]
 fn absint_json_reports_pruning_for_ci() {
-    let out = fx10(&["absint", "programs/absint_dead_branch.fx10", "--format", "json"]);
+    let out = fx10(&[
+        "absint",
+        "programs/absint_dead_branch.fx10",
+        "--format",
+        "json",
+    ]);
     let s = stdout(&out);
-    assert!(s.contains("\"pruning\": {\"before\": 8, \"after\": 1,"), "{s}");
+    assert!(
+        s.contains("\"pruning\": {\"before\": 8, \"after\": 1,"),
+        "{s}"
+    );
     assert!(s.contains("\"reachable\": false"), "{s}");
     assert!(s.contains("\"divergentLoops\""), "{s}");
 }
@@ -198,7 +214,12 @@ fn race_cites_value_analysis_feasibility() {
 
 #[test]
 fn lint_demotes_infeasible_races_to_notes() {
-    let out = fx10(&["lint", "programs/absint_dead_branch.fx10", "--format", "json"]);
+    let out = fx10(&[
+        "lint",
+        "programs/absint_dead_branch.fx10",
+        "--format",
+        "json",
+    ]);
     assert_eq!(code(&out), 0, "{}", stderr(&out));
     let s = stdout(&out);
     assert!(s.contains("\"code\": \"infeasible-race\""), "{s}");

@@ -17,9 +17,7 @@
 use crate::audit::precision_audit;
 use crate::diag::LintReport;
 use crate::races::race_pass;
-use crate::structure::{
-    dead_methods, inert_asyncs, oob_accesses, redundant_finishes, stuck_loops,
-};
+use crate::structure::{dead_methods, inert_asyncs, oob_accesses, redundant_finishes, stuck_loops};
 use fx10_absint::{Absint, AbsintConfig, Domain, FeasibilityOracle};
 use fx10_core::analysis::{analyze_with_budget, SolverKind};
 use fx10_core::gen::Mode;

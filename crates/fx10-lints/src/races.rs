@@ -42,6 +42,7 @@ pub struct RacePassOutput {
 /// static tier with the may-be-spurious tag). `oracle`, when present and
 /// complete, downgrades abstractly-infeasible pairs and annotates
 /// surviving unconfirmed findings with guard facts.
+#[allow(clippy::too_many_arguments)]
 pub fn race_pass(
     p: &Program,
     cs: &Analysis,
@@ -296,7 +297,10 @@ mod tests {
         // Without the oracle the same races are plain static warnings.
         let plain = run(src, 0);
         assert_eq!(plain.diagnostics.len(), out.diagnostics.len());
-        assert!(plain.diagnostics.iter().all(|d| d.code == "race-write-write"));
+        assert!(plain
+            .diagnostics
+            .iter()
+            .all(|d| d.code == "race-write-write"));
     }
 
     #[test]

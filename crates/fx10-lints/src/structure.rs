@@ -406,7 +406,11 @@ mod tests {
         use fx10_absint::{AbsintConfig, Domain};
         let a = analyze(p);
         let general = Absint::analyze(p, a.mhp(), &AbsintConfig::top(Domain::Interval));
-        let specific = Absint::analyze(p, a.mhp(), &AbsintConfig::with_input(Domain::Interval, input));
+        let specific = Absint::analyze(
+            p,
+            a.mhp(),
+            &AbsintConfig::with_input(Domain::Interval, input),
+        );
         (general, specific)
     }
 
@@ -469,7 +473,9 @@ mod tests {
         assert_eq!(codes, vec!["oob-write", "oob-read"]);
         assert!(d[0].message.contains("a[2]"), "{}", d[0].message);
         assert!(d[1].message.contains("a[3]"), "{}", d[1].message);
-        assert!(d.iter().all(|x| x.severity == Severity::Error && x.line > 0));
+        assert!(d
+            .iter()
+            .all(|x| x.severity == Severity::Error && x.line > 0));
         // No declaration, no findings.
         let q = Program::parse("def main() { a[9] = 1; }").unwrap();
         assert!(oob_accesses(&q).is_empty());

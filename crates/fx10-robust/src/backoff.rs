@@ -1,0 +1,113 @@
+//! Decorrelated-jitter retry backoff.
+//!
+//! Shared by the degradation ladder (`fx10_core::analysis::Supervisor`)
+//! and the shard supervisor ([`crate::shard`]): both restart failed
+//! engines, and both must avoid the retry-herd synchronization plain
+//! exponential backoff suffers from. The generator is a tiny xorshift64
+//! PRNG — deterministic from its seed, dependency-free, and explicitly
+//! *not* for anything security- or statistics-sensitive.
+
+use std::time::Duration;
+
+/// xorshift64 — a tiny, dependency-free PRNG for backoff jitter.
+#[derive(Debug, Clone)]
+pub struct XorShift64(u64);
+
+impl XorShift64 {
+    /// A generator seeded with `seed` (zero is remapped — xorshift has a
+    /// single absorbing state at zero).
+    pub fn new(seed: u64) -> Self {
+        XorShift64(seed | 1)
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Decorrelated-jitter backoff: uniform in `[base, 3 · prev]`,
+    /// clamped to `cap`. Successive sleeps are decorrelated (each draws
+    /// from a window anchored at the *previous* sleep), which avoids the
+    /// retry-herd synchronization plain exponential backoff suffers from.
+    pub fn backoff(&mut self, base: Duration, prev: Duration, cap: Duration) -> Duration {
+        let lo = base.as_micros() as u64;
+        let hi = (prev.as_micros() as u64).saturating_mul(3).max(lo);
+        let pick = if hi > lo {
+            lo + self.next_u64() % (hi - lo + 1)
+        } else {
+            lo
+        };
+        Duration::from_micros(pick).min(cap)
+    }
+}
+
+/// How a supervisor restarts a dead or wedged engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartPolicy {
+    /// Restarts allowed per shard/engine before its work migrates (or
+    /// the supervisor gives up).
+    pub max_restarts: u32,
+    /// Lower bound of every backoff sleep.
+    pub base_backoff: Duration,
+    /// Upper clamp of every backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the backoff jitter (any value; zero is remapped).
+    pub seed: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 2,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(250),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped_and_stream_advances() {
+        let mut r = XorShift64::new(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn backoff_is_decorrelated_within_bounds() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut rng = XorShift64::new(42);
+        let mut prev = base;
+        for _ in 0..1000 {
+            let next = rng.backoff(base, prev, cap);
+            assert!(next >= base.min(cap), "sleep below base: {next:?}");
+            assert!(next <= cap, "sleep above cap: {next:?}");
+            assert!(
+                next <= (prev * 3).max(base).min(cap),
+                "sleep {next:?} outside the decorrelated window of prev {prev:?}"
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn backoff_with_degenerate_window_returns_base() {
+        let mut rng = XorShift64::new(7);
+        let base = Duration::from_millis(30);
+        // prev so small that 3·prev < base: the window collapses to base.
+        let got = rng.backoff(base, Duration::from_micros(1), Duration::from_secs(1));
+        assert_eq!(got, base);
+    }
+}

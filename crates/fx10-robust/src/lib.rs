@@ -20,6 +20,9 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
+pub mod ipc;
+pub mod shard;
 pub mod snapshot;
 
 use std::fmt;

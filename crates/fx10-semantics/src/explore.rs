@@ -849,6 +849,45 @@ pub fn explore_parallel_budgeted(
     )
 }
 
+/// Resolves the fault flags left behind by a joined crew into the one
+/// error the run reports — the *join precedence* pinned by DESIGN.md
+/// §10 and the `settle_precedence_*` tests:
+///
+/// `panic > stall > injected kill > checkpoint-I/O > cancellation`.
+///
+/// A panic outranks everything (the answer may be incomplete in a way
+/// no counter records); a stall is a positive watchdog diagnosis and
+/// outranks the cancellation it was delivered through; an injected
+/// kill reports as [`Fx10Error::Cancelled`]; a checkpoint-write failure
+/// is only reported when nothing worse happened; and plain cancellation
+/// is last — every other fault also raises the stop flag, so reporting
+/// cancellation first would mask the cause. Returns `Ok(())` when no
+/// fault fired.
+pub fn settle_outcome(
+    panicked: Option<(usize, String)>,
+    stalled: Option<(usize, u64)>,
+    killed: bool,
+    ckpt_io_error: Option<Fx10Error>,
+    cancelled: bool,
+) -> Result<(), Fx10Error> {
+    if let Some((worker, message)) = panicked {
+        return Err(Fx10Error::WorkerPanicked { worker, message });
+    }
+    if let Some((worker, stalled_ms)) = stalled {
+        return Err(Fx10Error::WorkerStalled { worker, stalled_ms });
+    }
+    if killed {
+        return Err(Fx10Error::Cancelled);
+    }
+    if let Some(e) = ckpt_io_error {
+        return Err(e);
+    }
+    if cancelled {
+        return Err(Fx10Error::Cancelled);
+    }
+    Ok(())
+}
+
 /// [`explore_parallel_budgeted`] plus the durability/supervision layer:
 /// periodic consistent checkpoints, resume-from-snapshot, and a
 /// heartbeat watchdog (see [`Durability`]).
@@ -1008,25 +1047,16 @@ pub fn explore_parallel_durable(
         }
     }
 
-    if let Some((worker, message)) = panicked {
-        return Err(Fx10Error::WorkerPanicked { worker, message });
-    }
-    if let Some((worker, stalled_ms)) = stalled {
-        return Err(Fx10Error::WorkerStalled { worker, stalled_ms });
-    }
-    if killed {
-        return Err(Fx10Error::Cancelled);
-    }
-    if let Some(e) = engine
-        .ckpt
-        .as_ref()
-        .and_then(|c| lock_shard(&c.io_error).take())
-    {
-        return Err(e);
-    }
-    if engine.cancelled.load(Ordering::SeqCst) || cancel.is_cancelled() {
-        return Err(Fx10Error::Cancelled);
-    }
+    settle_outcome(
+        panicked,
+        stalled,
+        killed,
+        engine
+            .ckpt
+            .as_ref()
+            .and_then(|c| lock_shard(&c.io_error).take()),
+        engine.cancelled.load(Ordering::SeqCst) || cancel.is_cancelled(),
+    )?;
 
     // Dynamic MHP over every *discovered* state (queued-but-unexpanded
     // states included, exactly like the sequential engine's queue
@@ -1506,5 +1536,56 @@ mod tests {
             assert!((b.index()) < p.label_count());
             let _ = Label(a.0); // labels round-trip
         }
+    }
+
+    fn io_err() -> Fx10Error {
+        Fx10Error::Io {
+            path: "ckpt".into(),
+            message: "disk full".into(),
+        }
+    }
+
+    #[test]
+    fn settle_precedence_panic_beats_everything() {
+        let e = settle_outcome(
+            Some((3, "boom".into())),
+            Some((1, 500)),
+            true,
+            Some(io_err()),
+            true,
+        )
+        .unwrap_err();
+        assert!(matches!(e, Fx10Error::WorkerPanicked { worker: 3, .. }));
+    }
+
+    #[test]
+    fn settle_precedence_stall_beats_kill_io_and_cancel() {
+        let e = settle_outcome(None, Some((1, 500)), true, Some(io_err()), true).unwrap_err();
+        assert!(matches!(
+            e,
+            Fx10Error::WorkerStalled {
+                worker: 1,
+                stalled_ms: 500
+            }
+        ));
+    }
+
+    #[test]
+    fn settle_precedence_kill_beats_io_and_cancel() {
+        let e = settle_outcome(None, None, true, Some(io_err()), true).unwrap_err();
+        assert!(matches!(e, Fx10Error::Cancelled));
+    }
+
+    #[test]
+    fn settle_precedence_ckpt_io_beats_cancel() {
+        let e = settle_outcome(None, None, false, Some(io_err()), true).unwrap_err();
+        assert!(matches!(e, Fx10Error::Io { .. }));
+    }
+
+    #[test]
+    fn settle_precedence_cancel_last_and_clean_run_ok() {
+        let e = settle_outcome(None, None, false, None, true).unwrap_err();
+        assert!(matches!(e, Fx10Error::Cancelled));
+        assert!(settle_outcome(None, None, false, None, false).is_ok());
     }
 }

@@ -29,6 +29,7 @@ pub mod explore;
 pub mod intern;
 pub mod interp;
 pub mod parallel;
+pub mod shard;
 pub mod snapshot;
 pub mod state;
 pub mod step;
@@ -37,12 +38,15 @@ pub mod witness;
 
 pub use explore::{
     explore, explore_budgeted, explore_interned_budgeted, explore_parallel,
-    explore_parallel_budgeted, explore_parallel_durable, explore_sampled, CheckpointSpec,
-    Durability, Exploration, ExploreConfig, FrontSample, WatchdogSpec,
+    explore_parallel_budgeted, explore_parallel_durable, explore_sampled, settle_outcome,
+    CheckpointSpec, Durability, Exploration, ExploreConfig, FrontSample, WatchdogSpec,
 };
-pub use parallel::{ftlabels, parallel, LabelPair};
 pub use intern::{ArrayId, Interner, StmtId, TreeId};
 pub use interp::{run, run_budgeted, run_result, RunOutcome, Scheduler};
+pub use parallel::{ftlabels, parallel, LabelPair};
+pub use shard::{
+    explore_sharded, shard_of, shard_worker_main, ShardProvenance, ShardedOptions, StateDigests,
+};
 pub use snapshot::{fingerprint as snapshot_fingerprint, ExplorerSnapshot};
 pub use state::ArrayState;
 pub use tree::Tree;

@@ -221,6 +221,9 @@ struct Parser {
     pos: usize,
 }
 
+/// Parsed method bodies plus the optional `array [n];` declaration.
+type ParsedProgram = (Vec<(String, Vec<Ast>)>, Option<usize>);
+
 impl Parser {
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|(t, _)| t)
@@ -291,7 +294,7 @@ impl Parser {
         Ok(n)
     }
 
-    fn program(&mut self) -> Result<(Vec<(String, Vec<Ast>)>, Option<usize>), ParseError> {
+    fn program(&mut self) -> Result<ParsedProgram, ParseError> {
         let mut methods = Vec::new();
         let mut declared = None;
         while self.peek().is_some() {

@@ -22,14 +22,14 @@ fn fixture_files() -> Vec<std::path::PathBuf> {
         .filter(|p| p.extension().is_some_and(|e| e == "fx10"))
         .filter(|p| {
             // `bad_*` fixtures exist to fail the parser.
-            !p.file_name()
-                .unwrap()
-                .to_string_lossy()
-                .starts_with("bad_")
+            !p.file_name().unwrap().to_string_lossy().starts_with("bad_")
         })
         .collect();
     files.sort();
-    assert!(files.len() >= 10, "fixture sweep looks too small: {files:?}");
+    assert!(
+        files.len() >= 10,
+        "fixture sweep looks too small: {files:?}"
+    );
     files
 }
 
