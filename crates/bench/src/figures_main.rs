@@ -5,6 +5,7 @@
 //! figures bench-explore [OUT.json]     # explorer benchmark report
 //! figures bench-absint  [OUT.json]     # abstract-interpreter domain sweep
 //! figures bench-shard   [OUT.json]     # multi-process sharded explorer
+//! figures bench-run     [OUT.json]     # runtime: elision vs work stealing
 //! ```
 //!
 //! `bench-explore` measures the seed-style sequential cloned explorer
@@ -56,6 +57,18 @@ fn main() {
                     std::process::exit(1);
                 }
             };
+            print!("{json}");
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {out}");
+        }
+        "bench-run" => {
+            let out = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "BENCH_run.json".to_string());
+            let json = fx10_bench::bench_run_json();
             print!("{json}");
             if let Err(e) = std::fs::write(&out, &json) {
                 eprintln!("cannot write {out}: {e}");

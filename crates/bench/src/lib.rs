@@ -497,6 +497,156 @@ pub fn bench_explore_json() -> String {
     out
 }
 
+/// A straight-line fanout workload for the runtime benchmark: `width`
+/// asyncs under one finish, each performing `reps` increments of its own
+/// cell. Race-free by construction, so every engine must produce the
+/// same array and step count — the benchmark measures scheduling
+/// overhead and speedup, not divergence.
+fn runtime_fanout(width: usize, reps: usize) -> fx10_syntax::Program {
+    let mut src = String::from("def main() { finish { ");
+    for w in 0..width {
+        src.push_str("async { ");
+        for _ in 0..reps {
+            let _ = write!(src, "a[{w}] = a[{w}] + 1; ");
+        }
+        src.push_str("} ");
+    }
+    src.push_str("} }");
+    fx10_syntax::Program::parse(&src).expect("runtime fanout parses")
+}
+
+/// A grid workload: `rows` sequential finish barriers, each fanning out
+/// `cols` asyncs of `reps` increments on distinct cells — alternating
+/// parallel bursts and joins, the shape work-stealing runtimes find
+/// hardest relative to a serial loop.
+fn runtime_grid(rows: usize, cols: usize, reps: usize) -> fx10_syntax::Program {
+    let mut src = String::from("def main() { ");
+    for _ in 0..rows {
+        src.push_str("finish { ");
+        for c in 0..cols {
+            src.push_str("async { ");
+            for _ in 0..reps {
+                let _ = write!(src, "a[{c}] = a[{c}] + 1; ");
+            }
+            src.push_str("} ");
+        }
+        src.push_str("} ");
+    }
+    src.push('}');
+    fx10_syntax::Program::parse(&src).expect("runtime grid parses")
+}
+
+/// One measured engine configuration in the `BENCH_run.json` report.
+pub struct RunBenchRow {
+    /// Engine label (`elide` or `steal`).
+    pub engine: &'static str,
+    /// Worker count (1 for the serial elider).
+    pub jobs: usize,
+    /// Executed instructions (identical across engines on these
+    /// race-free workloads — asserted, not assumed).
+    pub steps: u64,
+    /// Median wall-clock of three timed runs, in milliseconds.
+    pub millis: f64,
+}
+
+/// Benchmarks serial sequential elision against the work-stealing
+/// runtime at several worker counts on one workload.
+pub fn bench_run_fixture(p: &fx10_syntax::Program, jobs: &[usize]) -> Vec<RunBenchRow> {
+    use fx10_robust::{Budget, CancelToken, FaultPlan};
+    use fx10_runtime::{run_elision, run_parallel, RtConfig};
+    let mut rows = Vec::new();
+    let elide = || {
+        run_elision(p, &[], u64::MAX, Budget::unlimited(), &CancelToken::new())
+            .expect("elision succeeds")
+    };
+    let reference = elide();
+    assert!(reference.completed, "bench workload must complete");
+    let (_, millis) = median_millis(|| elide().steps as usize);
+    rows.push(RunBenchRow {
+        engine: "elide",
+        jobs: 1,
+        steps: reference.steps,
+        millis,
+    });
+    for &j in jobs {
+        let cfg = RtConfig {
+            jobs: j,
+            seed: 0,
+            grain: 0,
+            max_steps: u64::MAX,
+        };
+        let par = || {
+            run_parallel(
+                p,
+                &[],
+                &cfg,
+                Budget::unlimited(),
+                &CancelToken::new(),
+                &FaultPlan::none(),
+            )
+            .expect("parallel run succeeds")
+        };
+        let check = par();
+        assert_eq!(
+            check.array, reference.array,
+            "race-free bench workload diverged from elision at jobs={j}"
+        );
+        let (_, millis) = median_millis(|| par().steps as usize);
+        rows.push(RunBenchRow {
+            engine: "steal",
+            jobs: j,
+            steps: check.steps,
+            millis,
+        });
+    }
+    rows
+}
+
+/// The `BENCH_run.json` report: sequential elision vs the work-stealing
+/// runtime (jobs 1/2/4/8) on straight-line fanout and grid workloads.
+/// Each fixture's parallel arrays are asserted byte-identical to the
+/// serial elision before timing — the benchmark doubles as a coarse
+/// elision-oracle smoke.
+pub fn bench_run_json() -> String {
+    let fixtures: Vec<(&str, fx10_syntax::Program)> = vec![
+        ("fanout8x400", runtime_fanout(8, 400)),
+        ("fanout16x200", runtime_fanout(16, 200)),
+        ("grid4x4x200", runtime_grid(4, 4, 200)),
+    ];
+    let jobs = [1usize, 2, 4, 8];
+    let mut out = String::new();
+    out.push_str("{\n  \"fixtures\": [\n");
+    for (i, (name, p)) in fixtures.iter().enumerate() {
+        let rows = bench_run_fixture(p, &jobs);
+        let elide_ms = rows[0].millis;
+        let jobs4_ms = rows
+            .iter()
+            .find(|r| r.engine == "steal" && r.jobs == 4)
+            .map(|r| r.millis)
+            .unwrap_or(f64::INFINITY);
+        let _ = writeln!(out, "    {{\n      \"name\": \"{name}\",");
+        let _ = writeln!(out, "      \"rows\": [");
+        for (j, r) in rows.iter().enumerate() {
+            let comma = if j + 1 == rows.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "        {{\"engine\": \"{}\", \"jobs\": {}, \"steps\": {}, \"millis\": {:.3}}}{comma}",
+                r.engine, r.jobs, r.steps, r.millis
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(
+            out,
+            "      \"speedup_steal_jobs4_vs_elide\": {:.2}",
+            elide_ms / jobs4_ms
+        );
+        let comma = if i + 1 == fixtures.len() { "" } else { "," };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// The `BENCH_absint.json` report: a domain sweep (const / interval /
 /// parity) of the abstract interpreter over the chaos fixture, the paper
 /// examples, a fan-out stress program and a few random-suite seeds. Each

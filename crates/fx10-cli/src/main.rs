@@ -4,6 +4,7 @@
 //! ```text
 //! fx10 parse   <file.fx10>                    check & pretty-print
 //! fx10 run     <file.fx10> [--sched S] [--input v,v,...] [--steps N]
+//!              [--jobs N [--schedule-seed S] [--grain G] | --elide]  real parallel runtime
 //! fx10 explore <file.fx10> [--max-states N] [--jobs N]   exhaustive dynamic MHP
 //!              [--checkpoint F [--checkpoint-every N]] [--resume F]
 //!              [--shards N [--digest-xor]]          multi-process sharded exploration
@@ -92,11 +93,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: fx10 <parse|run|explore|mhp|race|lint|absint|check|x10|bench> <file|name> [options]\n\
          options:\n\
-           --sched <leftmost|rightmost|random[:seed]>   scheduler (run)\n\
+           --sched <leftmost|rightmost|random[:seed]>   semantics-stepper scheduler (run)\n\
            --input v,v,...                              initial array (run/explore/check)\n\
            --steps N                                    step budget (run)\n\
            --max-states N                               exploration cap (explore/check)\n\
-           --jobs N                                     explorer worker threads (explore/check)\n\
+           --jobs N                                     worker threads (run/explore/check)\n\
+           --schedule-seed S                            work-stealing victim order seed (run)\n\
+           --grain N                                    inline asyncs of <= N instructions (run)\n\
+           --elide                                      sequential-elision oracle run (run)\n\
            --checkpoint <file>                          durable snapshot file (explore)\n\
            --checkpoint-every N                         states between snapshots (explore)\n\
            --resume <file>                              resume from a snapshot (explore)\n\
@@ -176,6 +180,16 @@ struct Opts {
     /// `FX10_SHARD_RESTARTS=N` — override the per-worker restart budget
     /// (0 forces immediate migration on the first death).
     shard_restarts: Option<u32>,
+    /// True when any of `--jobs`/`--schedule-seed`/`--grain` appeared on
+    /// `run`: dispatch to the real work-stealing runtime instead of the
+    /// semantics stepper.
+    use_runtime: bool,
+    /// `--schedule-seed S` — seeds the runtime's stealing order.
+    schedule_seed: Option<u64>,
+    /// `--grain N` — inline `async` bodies of at most N instructions.
+    grain: usize,
+    /// `--elide` — run the sequential-elision oracle engine.
+    elide: bool,
 }
 
 impl Opts {
@@ -294,6 +308,35 @@ fn print_exploration(p: &Program, e: &fx10_semantics::Exploration, digest_xor: b
     }
 }
 
+/// The shared tail of the runtime `run` paths. Deliberately identical
+/// across engines — only the leading `runtime:` banner names the engine
+/// and its knobs — so the CI elision oracle can diff a parallel run
+/// against the serial one with `grep -v '^runtime:'` and demand byte
+/// identity for race-free programs.
+fn print_run_report(p: &Program, banner: &str, out: &fx10_runtime::RunReport) {
+    println!("runtime: {banner}");
+    if out.completed {
+        println!("completed in {} steps", out.steps);
+    } else if let Some(e) = out.exhausted {
+        println!("{e} exhausted after {} steps", out.steps);
+    }
+    println!("a = {:?}", out.array);
+    println!("result a[0] = {}", out.array.first().copied().unwrap_or(0));
+    if out.races.is_empty() {
+        println!("races: none");
+    } else {
+        println!("races: {} pair(s) observed:", out.races.len());
+        for r in &out.races {
+            println!(
+                "  ({}, {}) on a[{}]",
+                p.labels().display(r.pair.0),
+                p.labels().display(r.pair.1),
+                r.cell
+            );
+        }
+    }
+}
+
 /// Parses the option tail, returning the options plus the list of flags
 /// that actually appeared (for the per-command validity audit).
 fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
@@ -330,6 +373,10 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
         shard_kill: None,
         shard_wedge: None,
         shard_restarts: None,
+        use_runtime: false,
+        schedule_seed: None,
+        grain: 0,
+        elide: false,
     };
     let mut seen: Vec<&'static str> = Vec::new();
     let mut i = 0;
@@ -503,6 +550,24 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<&'static str>), String> {
                 }
                 o.shards = Some(n);
             }
+            "--schedule-seed" => {
+                i += 1;
+                o.schedule_seed = Some(
+                    args.get(i)
+                        .ok_or("--schedule-seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad schedule seed")?,
+                );
+            }
+            "--grain" => {
+                i += 1;
+                o.grain = args
+                    .get(i)
+                    .ok_or("--grain needs a value")?
+                    .parse()
+                    .map_err(|_| "bad grain")?;
+            }
+            "--elide" => o.elide = true,
             "--digest-xor" => o.digest_xor = true,
             "--ladder" => o.ladder = true,
             "--fallback-ci" => o.fallback_ci = true,
@@ -552,6 +617,9 @@ const KNOWN_FLAGS: &[&str] = &[
     "--resume",
     "--shards",
     "--digest-xor",
+    "--schedule-seed",
+    "--grain",
+    "--elide",
     "--ladder",
     "--format",
     "--deny",
@@ -574,7 +642,15 @@ const KNOWN_FLAGS: &[&str] = &[
 fn allowed_flags(cmd: &str) -> &'static [&'static str] {
     match cmd {
         "parse" => &[],
-        "run" => &["--sched", "--steps", "--input"],
+        "run" => &[
+            "--sched",
+            "--steps",
+            "--input",
+            "--jobs",
+            "--schedule-seed",
+            "--grain",
+            "--elide",
+        ],
         "explore" => &[
             "--input",
             "--max-states",
@@ -633,10 +709,13 @@ fn validate_flags(cmd: &str, seen: &[&'static str]) -> Result<(), String> {
 ///
 /// The hooks steer the explorer's fault plan, watchdog and shard fleet,
 /// so they are only meaningful on the commands that explore (`explore`,
-/// `check`). Anywhere else a set hook is rejected (exit 2): a chaos
-/// harness that exports `FX10_KILL_AT_CHECKPOINT` around `fx10 mhp`
-/// believes it is injecting faults, and silently ignoring it would turn
-/// every such run into a false "survived the fault" result.
+/// `check`). Anywhere else — including the real runtime behind
+/// `fx10 run --jobs` — a set hook is rejected (exit 2): a chaos harness
+/// that exports `FX10_KILL_AT_CHECKPOINT` around `fx10 mhp` or
+/// `fx10 run` believes it is injecting faults, and silently ignoring it
+/// would turn every such run into a false "survived the fault" result.
+/// (The runtime's own panic isolation is fault-injected through the
+/// library [`FaultPlan`], exercised by the workspace test suite.)
 fn env_hooks(o: &mut Opts, cmd: &str) -> Result<(), String> {
     fn var(name: &str) -> Result<Option<String>, String> {
         match std::env::var_os(name) {
@@ -788,6 +867,32 @@ fn run_command(cmd: &str, target: &str, opts: &Opts) -> Result<Verdict, Fx10Erro
             );
             print!("{}", fx10_syntax::pretty::program(&p));
             Ok(Verdict::Conclusive)
+        }
+        "run" if opts.elide => {
+            let p = load(target)?;
+            let out = fx10_runtime::run_elision(&p, &opts.input, opts.steps, budget, &cancel)?;
+            print_run_report(&p, "sequential elision (serial oracle run)", &out);
+            Ok(Verdict::of(out.exhausted))
+        }
+        "run" if opts.use_runtime => {
+            let p = load(target)?;
+            let cfg = fx10_runtime::RtConfig {
+                jobs: opts.jobs,
+                seed: opts.schedule_seed.unwrap_or(0),
+                grain: opts.grain,
+                max_steps: opts.steps,
+            };
+            let out =
+                fx10_runtime::run_parallel(&p, &opts.input, &cfg, budget, &cancel, &opts.faults())?;
+            print_run_report(
+                &p,
+                &format!(
+                    "work-stealing crew, {} worker(s), schedule seed {}, grain {}",
+                    cfg.jobs, cfg.seed, cfg.grain
+                ),
+                &out,
+            );
+            Ok(Verdict::of(out.exhausted))
         }
         "run" => {
             let p = load(target)?;
@@ -1394,6 +1499,26 @@ fn main() -> ExitCode {
             if let Err(e) = env_hooks(&mut o, cmd) {
                 eprintln!("error: {e}");
                 return usage();
+            }
+            if cmd == "run" {
+                let runtime_flags = ["--jobs", "--schedule-seed", "--grain"]
+                    .iter()
+                    .any(|f| seen.contains(f));
+                if seen.contains(&"--sched") && (runtime_flags || o.elide) {
+                    eprintln!(
+                        "error: `--sched` drives the semantics stepper; it conflicts with \
+                         the runtime flags (--jobs/--schedule-seed/--grain/--elide)"
+                    );
+                    return usage();
+                }
+                if o.elide && runtime_flags {
+                    eprintln!(
+                        "error: `--elide` runs serially; it conflicts with \
+                         --jobs/--schedule-seed/--grain"
+                    );
+                    return usage();
+                }
+                o.use_runtime = runtime_flags;
             }
             if cmd == "check" && o.shards.is_some() && !o.ladder {
                 eprintln!(

@@ -620,3 +620,179 @@ fn wedged_worker_without_the_ladder_exits_4() {
     assert_eq!(code(&out), 4, "{out:?}");
     assert!(stderr(&out).contains("stalled"), "{}", stderr(&out));
 }
+
+// ---------------------------------------------------------------------------
+// The real runtime: `fx10 run --jobs/--schedule-seed/--grain/--elide`
+// ---------------------------------------------------------------------------
+
+/// Drops the engine-identifying `runtime:` banner so parallel and serial
+/// outputs can be compared byte-for-byte — the CLI face of the
+/// sequential-elision oracle.
+fn sans_banner(out: &Output) -> String {
+    stdout(out)
+        .lines()
+        .filter(|l| !l.starts_with("runtime:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// On a race-free fixture every parallel schedule prints exactly what the
+/// serial elision prints (modulo the banner), across jobs and seeds.
+#[test]
+fn run_parallel_output_matches_elision_on_race_free_fixture() {
+    let serial = fx10(&["run", "programs/rt_fanout.fx10", "--elide"]);
+    assert_eq!(code(&serial), 0, "{serial:?}");
+    let reference = sans_banner(&serial);
+    assert!(reference.contains("races: none"), "{reference}");
+    for jobs in ["1", "2", "8"] {
+        for seed in ["0", "7", "13"] {
+            let out = fx10(&[
+                "run",
+                "programs/rt_fanout.fx10",
+                "--jobs",
+                jobs,
+                "--schedule-seed",
+                seed,
+            ]);
+            assert_eq!(code(&out), 0, "jobs={jobs} seed={seed}: {out:?}");
+            assert_eq!(
+                sans_banner(&out),
+                reference,
+                "jobs={jobs} seed={seed} diverged from elision"
+            );
+        }
+    }
+    // Granularity control changes scheduling, never results.
+    let out = fx10(&[
+        "run",
+        "programs/rt_fanout.fx10",
+        "--jobs",
+        "4",
+        "--grain",
+        "8",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    assert_eq!(sans_banner(&out), reference, "--grain diverged");
+}
+
+/// The dynamic detector reports the planted pairs on the racy fixture —
+/// on real parallel runs and under instrumented elision alike.
+#[test]
+fn run_reports_detected_races_on_the_racy_fixture() {
+    for argv in [
+        &[
+            "run",
+            "programs/rt_racy.fx10",
+            "--jobs",
+            "4",
+            "--schedule-seed",
+            "2",
+        ][..],
+        &["run", "programs/rt_racy.fx10", "--elide"][..],
+    ] {
+        let out = fx10(argv);
+        assert_eq!(code(&out), 0, "{argv:?}: {out:?}");
+        let s = stdout(&out);
+        assert!(s.contains("races: 2 pair(s) observed:"), "{argv:?}: {s}");
+        assert!(s.contains("(W1, W2) on a[0]"), "{argv:?}: {s}");
+        assert!(s.contains("(W3, R1) on a[1]"), "{argv:?}: {s}");
+    }
+}
+
+/// The new runtime flags obey the same audit contract as every other
+/// flag: valid on `run`, rejected with exit 2 anywhere else, and
+/// mutually exclusive combinations are usage errors, not silent picks.
+#[test]
+fn runtime_flags_pass_the_allowed_flags_audit() {
+    // Valid rows.
+    for argv in [
+        &["run", "programs/rt_fanout.fx10", "--jobs", "2"][..],
+        &["run", "programs/rt_fanout.fx10", "--schedule-seed", "5"][..],
+        &["run", "programs/rt_fanout.fx10", "--grain", "4"][..],
+        &["run", "programs/rt_fanout.fx10", "--elide"][..],
+    ] {
+        let out = fx10(argv);
+        assert_eq!(code(&out), 0, "{argv:?}: {out:?}");
+    }
+    // Wrong subcommand.
+    for argv in [
+        &["explore", "programs/fork_join.fx10", "--schedule-seed", "1"][..],
+        &["mhp", "programs/example22.fx10", "--grain", "1"][..],
+        &["explore", "programs/fork_join.fx10", "--elide"][..],
+        &["run", "programs/fork_join.fx10", "--shards", "2"][..],
+    ] {
+        let out = fx10(argv);
+        assert_eq!(code(&out), 2, "{argv:?}: {out:?}");
+        assert!(stderr(&out).contains("is not valid for"), "{argv:?}");
+    }
+    // Conflicting engines.
+    for argv in [
+        &[
+            "run",
+            "programs/fork_join.fx10",
+            "--sched",
+            "leftmost",
+            "--jobs",
+            "2",
+        ][..],
+        &[
+            "run",
+            "programs/fork_join.fx10",
+            "--sched",
+            "leftmost",
+            "--elide",
+        ][..],
+        &["run", "programs/fork_join.fx10", "--elide", "--jobs", "2"][..],
+        &[
+            "run",
+            "programs/fork_join.fx10",
+            "--elide",
+            "--schedule-seed",
+            "1",
+        ][..],
+    ] {
+        let out = fx10(argv);
+        assert_eq!(code(&out), 2, "{argv:?}: {out:?}");
+        assert!(
+            stderr(&out).contains("conflicts"),
+            "{argv:?}: {}",
+            stderr(&out)
+        );
+    }
+    // Garbage and missing values.
+    for argv in [
+        &["run", "programs/fork_join.fx10", "--schedule-seed", "abc"][..],
+        &["run", "programs/fork_join.fx10", "--schedule-seed"][..],
+        &["run", "programs/fork_join.fx10", "--grain", "many"][..],
+        &["run", "programs/fork_join.fx10", "--grain"][..],
+    ] {
+        let out = fx10(argv);
+        assert_eq!(code(&out), 2, "{argv:?}: {out:?}");
+        assert!(stderr(&out).contains("usage"), "{argv:?}");
+    }
+}
+
+/// The six chaos env hooks' exit-2 contract covers `fx10 run` in all
+/// three engine modes: a fault the runtime cannot honor must never be
+/// silently ignored.
+#[test]
+fn chaos_env_hooks_are_rejected_on_run() {
+    for hook in [
+        "FX10_KILL_AT_CHECKPOINT",
+        "FX10_WEDGE_WORKER",
+        "FX10_STALL_MS",
+        "FX10_SHARD_KILL",
+        "FX10_SHARD_WEDGE",
+        "FX10_SHARD_RESTARTS",
+    ] {
+        for argv in [
+            &["run", "programs/fork_join.fx10"][..],
+            &["run", "programs/fork_join.fx10", "--jobs", "2"][..],
+            &["run", "programs/fork_join.fx10", "--elide"][..],
+        ] {
+            let out = fx10_env(argv, &[(hook, "1")]);
+            assert_eq!(code(&out), 2, "{hook} on {argv:?}: {out:?}");
+            assert!(stderr(&out).contains(hook), "{hook}: {}", stderr(&out));
+        }
+    }
+}

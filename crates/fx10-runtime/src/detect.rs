@@ -1,0 +1,275 @@
+//! Vector clocks and the dynamic race detector over the shared array.
+//!
+//! Every *activity* (the root, plus one per executed `async`) gets a
+//! numeric id and a [`VClock`]. The happens-before relation of
+//! async-finish programs is built from exactly two edges:
+//!
+//! * **fork** — spawning an `async` orders the parent's past before the
+//!   child ([`VClock::fork`]: the child starts from the parent's clock,
+//!   then both sides bump their own component so neither sees the
+//!   other's *future*);
+//! * **finish join** — a `finish` scope accumulates the final clock of
+//!   every activity it transitively spawned, and the waiting activity
+//!   joins that accumulator when the latch reaches zero. A plain `async`
+//!   that completes creates *no* edge: its clock only folds into the
+//!   enclosing scope's accumulator.
+//!
+//! Because there are no locks, this relation is series-parallel and —
+//! crucially — independent of the schedule that produced it: any two
+//! runs taking the same control-flow path compute the same
+//! happens-before order, so a single instrumented run (even the serial
+//! elision) soundly detects every race on the executed path.
+//!
+//! The detector keeps FastTrack-style shadow cells: per array cell, the
+//! set of read and write *epochs* `(activity, clock-component, label)`.
+//! An access races a prior epoch iff the current activity's clock does
+//! not dominate it. Epochs are deduplicated by `(activity, label)`
+//! keeping the latest clock component — lossless for both detection and
+//! the reported label pair, since a later same-label access by the same
+//! activity dominates the earlier one with respect to every other
+//! activity's view.
+
+use fx10_semantics::parallel::pair;
+use fx10_semantics::LabelPair;
+use fx10_syntax::Label;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// A vector clock: component `i` counts the events activity `i` has
+/// performed that the owner has observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (observes nothing).
+    pub fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// Component `tid` (0 when never bumped).
+    pub fn get(&self, tid: u32) -> u32 {
+        self.0.get(tid as usize).copied().unwrap_or(0)
+    }
+
+    /// Increments component `tid`.
+    pub fn bump(&mut self, tid: u32) {
+        let i = tid as usize;
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` observes everything `other`
+    /// observed.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(&other.0) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// The fork edge of an `async`: the new activity `child` inherits the
+    /// parent's past (clone + bump its own component) and the parent
+    /// bumps its own component so the child does not see the parent's
+    /// subsequent events as ordered. Returns the child's clock.
+    pub fn fork(parent: &mut VClock, parent_tid: u32, child_tid: u32) -> VClock {
+        let mut child = parent.clone();
+        child.bump(child_tid);
+        parent.bump(parent_tid);
+        child
+    }
+}
+
+/// A race observed on a real execution: two accesses to `cell`, at least
+/// one a write, unordered by happens-before. `pair` is normalized
+/// (smaller label first), matching the static analyses' convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DetectedRace {
+    /// The two instruction labels, normalized.
+    pub pair: LabelPair,
+    /// The array cell both touched.
+    pub cell: usize,
+}
+
+/// One recorded access epoch.
+#[derive(Debug, Clone, Copy)]
+struct Epoch {
+    tid: u32,
+    at: u32,
+    label: Label,
+}
+
+impl Epoch {
+    /// Is this epoch ordered before an access by an activity whose clock
+    /// is `clock`?
+    fn before(&self, clock: &VClock) -> bool {
+        clock.get(self.tid) >= self.at
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shadow {
+    writes: Vec<Epoch>,
+    reads: Vec<Epoch>,
+}
+
+fn record(epochs: &mut Vec<Epoch>, e: Epoch) {
+    if let Some(old) = epochs
+        .iter_mut()
+        .find(|o| o.tid == e.tid && o.label == e.label)
+    {
+        old.at = old.at.max(e.at);
+    } else {
+        epochs.push(e);
+    }
+}
+
+/// The shadow memory: one lock-guarded cell of epochs per array cell,
+/// plus the set of races seen so far. Safe to share across the scheduler
+/// crew.
+#[derive(Debug)]
+pub struct Detector {
+    cells: Vec<Mutex<Shadow>>,
+    races: Mutex<BTreeSet<DetectedRace>>,
+}
+
+impl Detector {
+    /// A detector for an array of `cells` cells.
+    pub fn new(cells: usize) -> Detector {
+        Detector {
+            cells: (0..cells).map(|_| Mutex::new(Shadow::default())).collect(),
+            races: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    fn epoch(tid: u32, clock: &VClock, label: Label) -> Epoch {
+        Epoch {
+            tid,
+            at: clock.get(tid),
+            label,
+        }
+    }
+
+    fn flag(&self, prior: &Epoch, label: Label, cell: usize) {
+        self.races.lock().unwrap().insert(DetectedRace {
+            pair: pair(prior.label, label),
+            cell,
+        });
+    }
+
+    /// Activity `tid` (at `clock`) reads `cell` at instruction `label`.
+    pub fn on_read(&self, cell: usize, label: Label, tid: u32, clock: &VClock) {
+        let mut shadow = self.cells[cell].lock().unwrap();
+        for w in &shadow.writes {
+            if !w.before(clock) {
+                self.flag(w, label, cell);
+            }
+        }
+        record(&mut shadow.reads, Detector::epoch(tid, clock, label));
+    }
+
+    /// Activity `tid` (at `clock`) writes `cell` at instruction `label`.
+    pub fn on_write(&self, cell: usize, label: Label, tid: u32, clock: &VClock) {
+        let mut shadow = self.cells[cell].lock().unwrap();
+        for prior in shadow.writes.iter().chain(&shadow.reads) {
+            if !prior.before(clock) {
+                self.flag(prior, label, cell);
+            }
+        }
+        record(&mut shadow.writes, Detector::epoch(tid, clock, label));
+    }
+
+    /// Every race observed so far.
+    pub fn races(&self) -> BTreeSet<DetectedRace> {
+        self.races.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_makes_child_and_parent_future_concurrent() {
+        let mut parent = VClock::new();
+        parent.bump(0);
+        let child = VClock::fork(&mut parent, 0, 1);
+        // Child sees the parent's past…
+        assert!(child.get(0) >= 1);
+        // …but not the parent's post-fork bump, and vice versa.
+        assert!(child.get(0) < parent.get(0));
+        assert!(parent.get(1) < child.get(1));
+    }
+
+    #[test]
+    fn unordered_writes_race_and_ordered_do_not() {
+        let d = Detector::new(1);
+        let mut parent = VClock::new();
+        parent.bump(0);
+        d.on_write(0, Label(0), 0, &parent);
+        let child = VClock::fork(&mut parent, 0, 1);
+        // The child's write is after the fork: ordered after the parent's
+        // earlier write, concurrent with nothing. No race.
+        d.on_write(0, Label(1), 1, &child);
+        assert!(d.races().is_empty());
+        // The parent's next write is concurrent with the child's.
+        d.on_write(0, Label(2), 0, &parent);
+        let races = d.races();
+        assert_eq!(races.len(), 1);
+        let r = races.iter().next().unwrap();
+        assert_eq!(r.pair, (Label(1), Label(2)));
+        assert_eq!(r.cell, 0);
+    }
+
+    #[test]
+    fn finish_join_orders_child_before_waiter() {
+        let d = Detector::new(1);
+        let mut parent = VClock::new();
+        parent.bump(0);
+        let child = VClock::fork(&mut parent, 0, 1);
+        d.on_write(0, Label(0), 1, &child);
+        // finish: the scope accumulated the child's final clock; the
+        // parent joins it before continuing.
+        parent.join(&child);
+        d.on_write(0, Label(1), 0, &parent);
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn read_read_is_not_a_race_but_read_write_is() {
+        let d = Detector::new(1);
+        let mut parent = VClock::new();
+        parent.bump(0);
+        let child = VClock::fork(&mut parent, 0, 1);
+        d.on_read(0, Label(0), 0, &parent);
+        d.on_read(0, Label(1), 1, &child);
+        assert!(d.races().is_empty());
+        d.on_write(0, Label(2), 1, &child);
+        let races = d.races();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races.iter().next().unwrap().pair, (Label(0), Label(2)));
+    }
+
+    #[test]
+    fn same_label_epochs_dedupe_without_losing_the_race() {
+        let d = Detector::new(1);
+        let mut parent = VClock::new();
+        parent.bump(0);
+        // A loop writing the same cell at the same label many times.
+        for _ in 0..100 {
+            d.on_write(0, Label(0), 0, &parent);
+            parent.bump(0);
+        }
+        let child = VClock::fork(&mut parent, 0, 1);
+        drop(child);
+        // Shadow kept one epoch, not a hundred.
+        assert_eq!(d.cells[0].lock().unwrap().writes.len(), 1);
+        // A concurrent write still races it.
+        let other = VClock::new();
+        d.on_write(0, Label(1), 2, &other);
+        assert_eq!(d.races().len(), 1);
+    }
+}

@@ -20,6 +20,9 @@
 //!   budgets, cooperative cancellation and the fault-injection plan.
 //! - [`absint`] — the abstract-interpretation value analysis of the
 //!   shared array and its MHP guard-feasibility oracle.
+//! - [`runtime`] — real parallel execution: the work-stealing scheduler,
+//!   sequential elision, the vector-clock race detector, and guided
+//!   witness replay.
 
 #![warn(missing_docs)]
 pub use fx10_absint as absint;
@@ -28,6 +31,7 @@ pub use fx10_core as analysis;
 pub use fx10_frontend as frontend;
 pub use fx10_lints as lints;
 pub use fx10_robust as robust;
+pub use fx10_runtime as runtime;
 pub use fx10_semantics as semantics;
 pub use fx10_suite as suite;
 pub use fx10_syntax as syntax;

@@ -1,0 +1,448 @@
+//! The runtime's two differential oracles, executed for real.
+//!
+//! - **Sequential elision** (FX10's defining property, §2): for
+//!   race-free programs, dropping every `async`/`finish` and running
+//!   serially is *indistinguishable* from any parallel schedule. We run
+//!   the instrumented serial elider against the work-stealing runtime at
+//!   `jobs ∈ {1, 2, 8}` across many schedule seeds and demand identical
+//!   final arrays, step counts, and termination verdicts.
+//! - **Dynamic ⊆ static** (Theorem 2 as an executable oracle): every
+//!   race pair the vector-clock detector observes on a real run must be
+//!   contained in the explorer's exact dynamic MHP and in the
+//!   context-sensitive static over-approximation. A detected race
+//!   *outside* the static relation would be a counterexample to the
+//!   paper's soundness theorem.
+//!
+//! Plus the witness bridge: every race the lint suite *confirmed* with a
+//! replayable schedule must replay to an actually-detected race on the
+//! instrumented runtime — static analysis, bounded exploration and real
+//! execution all agreeing on the same pair.
+
+use std::collections::BTreeSet;
+
+use fx10::analysis::race::{accesses, detect_races_with};
+use fx10::analysis::{analyze, analyze_ci};
+use fx10::robust::{Budget, CancelToken, Exhaustion, FaultPlan, Fx10Error, PanicFault};
+use fx10::runtime::{replay_detect, run_elision, run_parallel, RtConfig, RunReport};
+use fx10::semantics::{explore, ExploreConfig};
+use fx10::suite::{random_fx10, RandomConfig};
+use fx10::syntax::Program;
+use proptest::prelude::*;
+
+const STEP_CAP: u64 = 400_000;
+
+fn elide(p: &Program) -> RunReport {
+    run_elision(p, &[], STEP_CAP, Budget::unlimited(), &CancelToken::new())
+        .expect("elision must not fail on test programs")
+}
+
+fn par(p: &Program, jobs: usize, seed: u64) -> RunReport {
+    let cfg = RtConfig {
+        jobs,
+        seed,
+        grain: 0,
+        max_steps: STEP_CAP,
+    };
+    run_parallel(
+        p,
+        &[],
+        &cfg,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        &FaultPlan::none(),
+    )
+    .expect("parallel run must not fail on test programs")
+}
+
+fn statically_racy(p: &Program) -> bool {
+    let cs = analyze(p);
+    let acc = accesses(p);
+    !detect_races_with(&acc, |x, y| cs.may_happen_in_parallel(x, y)).is_empty()
+}
+
+fn fixture(name: &str) -> Program {
+    let path = format!("{}/programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    Program::parse(&src).unwrap_or_else(|e| panic!("parse {path}: {e:?}"))
+}
+
+/// Every `.fx10` fixture that parses (the `bad_*` family exists to
+/// exercise parse errors and is skipped).
+fn all_fixtures() -> Vec<(String, Program)> {
+    let dir = format!("{}/programs", env!("CARGO_MANIFEST_DIR"));
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("programs/ directory")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) if n.ends_with(".fx10") && !n.starts_with("bad_") => n.to_string(),
+            _ => continue,
+        };
+        let src = std::fs::read_to_string(&path).expect("read fixture");
+        let p = Program::parse(&src).unwrap_or_else(|e| panic!("parse {name}: {e:?}"));
+        out.push((name, p));
+    }
+    assert!(out.len() >= 10, "fixture sweep looks too small");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Oracle (a): sequential elision on the race-free fixtures.
+// ---------------------------------------------------------------------
+
+#[test]
+fn race_free_fixtures_match_elision_across_jobs_and_seeds() {
+    for name in ["rt_fanout.fx10", "example22.fx10", "lint_clean.fx10"] {
+        let p = fixture(name);
+        assert!(!statically_racy(&p), "{name} is meant to be race-free");
+        let serial = elide(&p);
+        assert!(serial.completed, "{name} elision must complete");
+        assert!(serial.races.is_empty(), "{name}: elision saw a race");
+        for jobs in [1, 2, 8] {
+            for seed in 0..16u64 {
+                let r = par(&p, jobs, seed);
+                assert_eq!(r.array, serial.array, "{name} jobs={jobs} seed={seed}");
+                assert_eq!(r.steps, serial.steps, "{name} jobs={jobs} seed={seed}");
+                assert!(r.completed, "{name} jobs={jobs} seed={seed}");
+                assert!(r.races.is_empty(), "{name} jobs={jobs} seed={seed}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle (b): dynamic ⊆ exact dynamic MHP ⊆ CS static, fixture sweep.
+// ---------------------------------------------------------------------
+
+#[test]
+fn detected_races_are_contained_in_dynamic_and_static_mhp_on_all_fixtures() {
+    for (name, p) in all_fixtures() {
+        let cs = analyze(&p);
+        let mut observed: BTreeSet<(fx10::syntax::Label, fx10::syntax::Label)> = BTreeSet::new();
+        let serial = elide(&p);
+        observed.extend(serial.race_pairs());
+        for (jobs, seed) in [(2, 0), (2, 3), (8, 1), (8, 7)] {
+            observed.extend(par(&p, jobs, seed).race_pairs());
+        }
+        for &(x, y) in &observed {
+            assert!(
+                cs.may_happen_in_parallel(x, y),
+                "{name}: detected race ({}, {}) escapes the static MHP — \
+                 Theorem 2 counterexample",
+                p.labels().display(x),
+                p.labels().display(y)
+            );
+        }
+        // The explorer's dynamic MHP is exact only when untruncated; on
+        // the chaos fixtures the interleaving space alone overflows any
+        // reasonable cap, so the middle leg is checked where exhaustive.
+        let e = explore(
+            &p,
+            &[],
+            ExploreConfig {
+                max_states: 60_000,
+                ..ExploreConfig::default()
+            },
+        );
+        if !e.truncated {
+            for &(x, y) in &observed {
+                assert!(
+                    e.mhp.contains(&(x, y)),
+                    "{name}: detected race ({}, {}) not in the exact dynamic MHP",
+                    p.labels().display(x),
+                    p.labels().display(y)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_racy_fixture_pins_both_planted_pairs() {
+    let p = fixture("rt_racy.fx10");
+    assert!(statically_racy(&p));
+    let l = |n: &str| p.labels().lookup(n).expect("fixture label");
+    let want: BTreeSet<_> = [
+        fx10::semantics::parallel::pair(l("W1"), l("W2")),
+        fx10::semantics::parallel::pair(l("W3"), l("R1")),
+    ]
+    .into_iter()
+    .collect();
+    // The detector sees both pairs under instrumented elision (the
+    // detector is schedule-independent on the executed path) and on
+    // every real parallel run.
+    assert_eq!(elide(&p).race_pairs(), want, "elision");
+    for seed in 0..8u64 {
+        assert_eq!(par(&p, 4, seed).race_pairs(), want, "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Witness bridge: confirmed lint schedules replay to detected races.
+// ---------------------------------------------------------------------
+
+#[test]
+fn confirmed_lint_witnesses_replay_to_detected_races() {
+    use fx10::lints::{races::race_pass, Confidence};
+    let mut confirmed = 0usize;
+    for name in [
+        "rt_racy.fx10",
+        "racey.fx10",
+        "lint_rw_race.fx10",
+        "lint_ww_race.fx10",
+    ] {
+        let p = fixture(name);
+        let cs = analyze(&p);
+        let ci = analyze_ci(&p);
+        let out = race_pass(
+            &p,
+            &cs,
+            &ci,
+            &[],
+            50_000,
+            None,
+            Budget::unlimited(),
+            &CancelToken::new(),
+        )
+        .expect("race pass");
+        for d in &out.diagnostics {
+            let (Confidence::Confirmed, Some(pair), Some(schedule)) =
+                (d.confidence, d.pair, d.witness.as_ref())
+            else {
+                continue;
+            };
+            confirmed += 1;
+            let r = replay_detect(&p, &[], schedule, STEP_CAP)
+                .unwrap_or_else(|e| panic!("{name}: witness replay failed: {e}"));
+            let want = fx10::semantics::parallel::pair(pair.0, pair.1);
+            assert!(
+                r.race_pairs().contains(&want),
+                "{name}: confirmed witness for ({}, {}) replayed without the \
+                 detector observing the race; saw {:?}",
+                p.labels().display(pair.0),
+                p.labels().display(pair.1),
+                r.race_pairs()
+            );
+        }
+    }
+    assert!(
+        confirmed >= 3,
+        "witness bridge exercised only {confirmed} confirmed findings"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: random-program corpus, elision vs parallel runtime.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_programs_elide_or_at_least_terminate_alike(
+        seed in 0u64..10_000,
+        methods in 1usize..4,
+        stmts in 1usize..4,
+        depth in 0usize..3,
+    ) {
+        let p = random_fx10(RandomConfig {
+            methods,
+            stmts_per_method: stmts,
+            max_depth: depth,
+            seed,
+        });
+        let racy = statically_racy(&p);
+        let serial = elide(&p);
+        let cs = analyze(&p);
+        for jobs in [2usize, 8] {
+            for sseed in [0u64, 1, 5] {
+                let r = par(&p, jobs, sseed);
+                // Same termination verdict always (random programs
+                // terminate under the all-zero input, so both engines
+                // complete; a step-cap trip on one must trip the other).
+                prop_assert_eq!(
+                    r.completed, serial.completed,
+                    "jobs={} seed={}", jobs, sseed
+                );
+                if !racy {
+                    prop_assert_eq!(
+                        &r.array, &serial.array,
+                        "race-free program diverged at jobs={} seed={}\n{}",
+                        jobs, sseed, fx10::syntax::pretty::program(&p)
+                    );
+                    prop_assert_eq!(r.steps, serial.steps);
+                    prop_assert!(r.races.is_empty(), "detector fired on a race-free program");
+                }
+                // Theorem 2 leg on whatever was detected.
+                for (x, y) in r.race_pairs() {
+                    prop_assert!(
+                        cs.may_happen_in_parallel(x, y),
+                        "detected ({}, {}) escapes static MHP",
+                        p.labels().display(x),
+                        p.labels().display(y)
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: runtime edge cases.
+// ---------------------------------------------------------------------
+
+#[test]
+fn finish_over_zero_asyncs_is_a_no_op_barrier() {
+    let p = Program::parse("def main() { finish { skip; } a[0] = 1; }").unwrap();
+    let serial = elide(&p);
+    assert!(serial.completed);
+    assert_eq!(serial.array, vec![1]);
+    for jobs in [1, 2, 8] {
+        let r = par(&p, jobs, 0);
+        assert_eq!(r.array, serial.array);
+        assert_eq!(r.steps, serial.steps);
+    }
+}
+
+#[test]
+fn deeply_nested_finish_does_not_overflow_the_stack() {
+    // 96 nested finish scopes, each spawning one async: the worker
+    // executes finish bodies inline, so this exercises real recursion
+    // depth in both engines.
+    let depth = 96;
+    let mut src = String::from("def main() { ");
+    for _ in 0..depth {
+        src.push_str("finish { async { ");
+    }
+    src.push_str("a[0] = a[0] + 1; ");
+    for _ in 0..depth {
+        src.push_str("} } ");
+    }
+    src.push('}');
+    let p = Program::parse(&src).unwrap();
+    let serial = elide(&p);
+    assert!(serial.completed);
+    assert_eq!(serial.array, vec![1]);
+    for jobs in [1, 4] {
+        for seed in 0..4u64 {
+            let r = par(&p, jobs, seed);
+            assert_eq!(r.array, serial.array, "jobs={jobs} seed={seed}");
+            assert_eq!(r.steps, serial.steps, "jobs={jobs} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn a_panicking_async_exits_4_with_the_latch_released() {
+    // Target worker 0: it always runs the root task (item 1), so its
+    // second processed item — deterministically an async task — panics
+    // inside the catch_unwind region. The run must *return* (the finish
+    // latch is released during unwind, nobody deadlocks) and surface the
+    // panic as exit code 4. Two crew shapes: solo (the panicking worker
+    // is also the finish waiter) and a 4-worker crew (the survivors must
+    // observe the stop flag and shut down cleanly).
+    let p = fixture("rt_fanout.fx10");
+    for (jobs, after_states) in [(1u64, 2u64), (4, 1)] {
+        let faults = FaultPlan {
+            panic_worker: Some(PanicFault {
+                worker: 0,
+                after_states,
+            }),
+            ..FaultPlan::none()
+        };
+        let cfg = RtConfig {
+            jobs: jobs as usize,
+            seed: 0,
+            grain: 0,
+            max_steps: STEP_CAP,
+        };
+        let err = run_parallel(
+            &p,
+            &[],
+            &cfg,
+            Budget::unlimited(),
+            &CancelToken::new(),
+            &faults,
+        )
+        .expect_err("the injected panic must surface");
+        assert_eq!(err.exit_code(), 4, "jobs={jobs}: got {err}");
+        assert!(
+            matches!(err, Fx10Error::WorkerPanicked { worker: 0, .. }),
+            "jobs={jobs}: got {err}"
+        );
+    }
+}
+
+#[test]
+fn budget_and_cancel_are_honored_mid_run() {
+    // A diverging loop: only a budget trip or cancellation can stop it.
+    let p = Program::parse("def main() { a[0] = 1; while (a[0] != 0) { skip; } }").unwrap();
+    let cfg = RtConfig {
+        jobs: 2,
+        seed: 0,
+        grain: 0,
+        max_steps: u64::MAX,
+    };
+
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    let err = run_parallel(
+        &p,
+        &[],
+        &cfg,
+        Budget::unlimited(),
+        &cancelled,
+        &FaultPlan::none(),
+    )
+    .expect_err("cancellation must stop the run");
+    assert!(matches!(err, Fx10Error::Cancelled), "got {err}");
+
+    let past = Budget {
+        deadline: Some(std::time::Instant::now()),
+        ..Budget::unlimited()
+    };
+    let r = run_parallel(&p, &[], &cfg, past, &CancelToken::new(), &FaultPlan::none())
+        .expect("deadline exhaustion is a verdict, not an error");
+    assert!(!r.completed);
+    assert_eq!(r.exhausted, Some(Exhaustion::Deadline));
+
+    let iters = Budget {
+        max_iters: Some(500),
+        ..Budget::unlimited()
+    };
+    let r = run_parallel(
+        &p,
+        &[],
+        &cfg,
+        iters,
+        &CancelToken::new(),
+        &FaultPlan::none(),
+    )
+    .expect("iteration exhaustion is a verdict, not an error");
+    assert_eq!(r.exhausted, Some(Exhaustion::SolverIterations));
+
+    let capped = RtConfig {
+        max_steps: 1_000,
+        ..cfg
+    };
+    let r = run_parallel(
+        &p,
+        &[],
+        &capped,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        &FaultPlan::none(),
+    )
+    .expect("step exhaustion is a verdict, not an error");
+    assert_eq!(r.exhausted, Some(Exhaustion::Steps));
+
+    // The serial elider honors the same knobs.
+    let err = run_elision(&p, &[], u64::MAX, Budget::unlimited(), &cancelled)
+        .expect_err("cancellation must stop the elider");
+    assert!(matches!(err, Fx10Error::Cancelled), "got {err}");
+    let r = run_elision(&p, &[], 1_000, Budget::unlimited(), &CancelToken::new()).unwrap();
+    assert_eq!(r.exhausted, Some(Exhaustion::Steps));
+}
