@@ -110,4 +110,55 @@ mod tests {
         let got = rng.backoff(base, Duration::from_micros(1), Duration::from_secs(1));
         assert_eq!(got, base);
     }
+
+    #[test]
+    fn backoff_is_deterministic_under_a_fixed_seed() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_millis(250);
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = XorShift64::new(seed);
+            let mut prev = base;
+            (0..64)
+                .map(|_| {
+                    prev = rng.backoff(base, prev, cap);
+                    prev
+                })
+                .collect()
+        };
+        assert_eq!(schedule(0xC0FFEE), schedule(0xC0FFEE));
+        assert_ne!(
+            schedule(0xC0FFEE),
+            schedule(0xBAD_C0DE),
+            "different seeds must decorrelate the schedules"
+        );
+    }
+
+    #[test]
+    fn backoff_never_exceeds_a_cap_below_base() {
+        // A cap below base is degenerate but must still be honored:
+        // the clamp wins over the lower bound.
+        let mut rng = XorShift64::new(3);
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_millis(40);
+        for _ in 0..100 {
+            let got = rng.backoff(base, Duration::from_millis(500), cap);
+            assert!(got <= cap, "{got:?} above cap {cap:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_reaches_both_ends_of_the_window() {
+        // The jitter must actually spread over [base, 3·prev]: over many
+        // draws from a fixed window we expect samples near both ends.
+        let base = Duration::from_millis(10);
+        let prev = Duration::from_millis(100);
+        let cap = Duration::from_secs(10);
+        let mut rng = XorShift64::new(99);
+        let draws: Vec<Duration> = (0..2000).map(|_| rng.backoff(base, prev, cap)).collect();
+        let lo = draws.iter().min().unwrap();
+        let hi = draws.iter().max().unwrap();
+        assert!(*lo < Duration::from_millis(25), "never drew low: {lo:?}");
+        assert!(*hi > Duration::from_millis(285), "never drew high: {hi:?}");
+        assert!(*lo >= base && *hi <= Duration::from_millis(300));
+    }
 }

@@ -1,0 +1,310 @@
+//! Frame-corruption fuzz tests for the shard wire protocol.
+//!
+//! The socket transport trusts nothing about the bytes it reads: a
+//! corrupted length prefix, a bit-flipped container, a truncated frame
+//! or a replayed handshake message must each surface as a typed error —
+//! never a panic, an OOM-sized allocation, or a silently mis-decoded
+//! frame. These properties drive random corruption through
+//! [`ipc::read_frame`] and [`conn::server_handshake`] to pin that down.
+
+use fx10_robust::conn::{self, keyed_mac, HandshakeConfig};
+use fx10_robust::ipc::{self, kind, reject, Hello, WireMsg, MAX_FRAME_LEN};
+use proptest::prelude::*;
+use std::io::{self, Cursor, Read, Write};
+
+// -- helpers -----------------------------------------------------------------
+
+/// An in-memory peer for driving one side of a handshake: reads come
+/// from a pre-scripted byte stream, writes are captured for inspection.
+struct ScriptedIo {
+    input: Cursor<Vec<u8>>,
+    output: Vec<u8>,
+}
+
+impl ScriptedIo {
+    fn new(input: Vec<u8>) -> Self {
+        ScriptedIo {
+            input: Cursor::new(input),
+            output: Vec::new(),
+        }
+    }
+}
+
+impl Read for ScriptedIo {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for ScriptedIo {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.output.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Decodes every frame the supervisor wrote during a handshake.
+fn frames(bytes: &[u8]) -> Vec<WireMsg> {
+    let mut r = Cursor::new(bytes.to_vec());
+    let mut out = Vec::new();
+    while let Some(m) = ipc::read_frame(&mut r, MAX_FRAME_LEN).expect("supervisor output decodes") {
+        out.push(m);
+    }
+    out
+}
+
+fn test_config() -> HandshakeConfig {
+    HandshakeConfig {
+        secret: b"hunter2".to_vec(),
+        fingerprint: 0xFEED_F00D,
+        shards: 4,
+        max_frame: MAX_FRAME_LEN,
+    }
+}
+
+fn test_hello() -> Hello {
+    Hello {
+        proto: ipc::PROTOCOL_VERSION,
+        slot: 1,
+        boot_id: 7,
+        fingerprint: 0,
+    }
+}
+
+/// The bytes both handshake sides MAC (mirrors the private
+/// `conn::mac_message` layout; the replay test below fails loudly if
+/// the two ever drift, because the legit handshake stops verifying).
+fn mac_message(nonce: u64, h: &Hello) -> Vec<u8> {
+    let mut m = Vec::with_capacity(32);
+    m.extend_from_slice(&nonce.to_le_bytes());
+    m.extend_from_slice(&h.proto.to_le_bytes());
+    m.extend_from_slice(&h.slot.to_le_bytes());
+    m.extend_from_slice(&h.boot_id.to_le_bytes());
+    m.extend_from_slice(&h.fingerprint.to_le_bytes());
+    m
+}
+
+fn hello_frame(h: &Hello) -> Vec<u8> {
+    WireMsg::new(kind::HELLO, 0, ipc::hello_body(h)).frame()
+}
+
+fn auth_frame(mac: u64) -> Vec<u8> {
+    WireMsg::new(kind::AUTH, 0, ipc::auth_body(mac)).frame()
+}
+
+/// Runs `server_handshake` against a scripted worker and returns the
+/// result plus the frames the supervisor wrote back.
+fn drive_server(
+    input: Vec<u8>,
+    nonce: u64,
+) -> (Result<conn::PeerInfo, fx10_robust::Fx10Error>, Vec<WireMsg>) {
+    let cfg = test_config();
+    let mut io = ScriptedIo::new(input);
+    let res = conn::server_handshake(&mut io, &cfg, nonce);
+    let written = frames(&io.output);
+    (res, written)
+}
+
+fn msg_strategy() -> impl Strategy<Value = WireMsg> {
+    (
+        1u32..16,
+        0u64..u64::MAX,
+        proptest::collection::vec(0u8..255, 0..48),
+    )
+        .prop_map(|(kind_, seq, body)| WireMsg::new(kind_, seq, body))
+}
+
+// -- framing-layer corruption ------------------------------------------------
+
+proptest! {
+    /// Flipping any single bit of a frame — length prefix or container —
+    /// must yield a typed error, never a panic or a silently different
+    /// message (the container's trailing FNV-1a-64 checksum catches
+    /// container flips; the length validation catches prefix flips).
+    #[test]
+    fn single_bit_flip_never_decodes(msg in msg_strategy(), pos in 0usize..4096) {
+        let mut frame = msg.frame();
+        let bit = pos % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        let mut r = Cursor::new(frame);
+        let res = ipc::read_frame(&mut r, MAX_FRAME_LEN);
+        prop_assert!(res.is_err(), "corrupted frame decoded as {:?}", res);
+    }
+
+    /// A frame cut anywhere after its first byte is a truncation error —
+    /// a torn socket write never reads as a clean EOF or a short frame.
+    #[test]
+    fn truncation_is_a_typed_error(msg in msg_strategy(), cut in 1usize..4096) {
+        let frame = msg.frame();
+        let cut = 1 + cut % (frame.len() - 1);
+        let mut r = Cursor::new(frame[..cut].to_vec());
+        let res = ipc::read_frame(&mut r, MAX_FRAME_LEN);
+        prop_assert!(res.is_err(), "truncated at {cut}: decoded as {:?}", res);
+        prop_assert_eq!(res.unwrap_err().exit_code(), 2);
+    }
+
+    /// A length prefix claiming more bytes than the stream holds fails
+    /// as truncation; one beyond the cap fails before any allocation.
+    #[test]
+    fn lying_length_prefix_is_rejected(msg in msg_strategy(), extra in 1u32..100_000) {
+        let container = msg.encode();
+        let mut lie = Vec::new();
+        lie.extend_from_slice(&(container.len() as u32 + extra).to_le_bytes());
+        lie.extend_from_slice(&container);
+        let mut r = Cursor::new(lie);
+        prop_assert!(ipc::read_frame(&mut r, MAX_FRAME_LEN).is_err());
+
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+        oversized.extend_from_slice(&container);
+        let mut r = Cursor::new(oversized);
+        let err = ipc::read_frame(&mut r, 1 << 20).unwrap_err();
+        prop_assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    /// Arbitrary garbage fed to the supervisor's handshake is a typed
+    /// handshake error — never a panic, never an authenticated peer.
+    #[test]
+    fn garbage_handshake_input_is_rejected(bytes in proptest::collection::vec(0u8..255, 0..256)) {
+        let (res, _) = drive_server(bytes, 0x5EED);
+        prop_assert!(res.is_err(), "garbage authenticated as {:?}", res);
+    }
+
+    /// A single bit flip anywhere in an otherwise valid HELLO must not
+    /// authenticate (the flip lands in the checksum-protected container
+    /// or the length prefix, so the handshake errors out).
+    #[test]
+    fn bit_flipped_hello_never_authenticates(pos in 0usize..4096) {
+        let mut input = hello_frame(&test_hello());
+        let bit = pos % (input.len() * 8);
+        input[bit / 8] ^= 1 << (bit % 8);
+        let (res, _) = drive_server(input, 0x5EED);
+        prop_assert!(res.is_err(), "flipped HELLO authenticated as {:?}", res);
+    }
+}
+
+// -- handshake replay and vetting -------------------------------------------
+
+#[test]
+fn legit_handshake_succeeds_and_replayed_auth_fails_on_a_fresh_nonce() {
+    let cfg = test_config();
+    let hello = test_hello();
+    let nonce1 = 0x1111_2222_3333_4444;
+
+    // A legitimate exchange: the worker answers nonce1 with the keyed
+    // MAC over its identity. This is the transcript an eavesdropper on
+    // the wire could capture.
+    let auth1 = auth_frame(keyed_mac(&cfg.secret, &mac_message(nonce1, &hello)));
+    let mut transcript = hello_frame(&hello);
+    transcript.extend_from_slice(&auth1);
+
+    let (res, written) = drive_server(transcript.clone(), nonce1);
+    let peer = res.expect("legit handshake verifies");
+    assert_eq!(peer.slot, 1);
+    assert_eq!(peer.boot_id, 7);
+    assert!(!peer.resumed);
+    assert_eq!(
+        written.iter().map(|m| m.kind).collect::<Vec<_>>(),
+        vec![kind::CHALLENGE, kind::WELCOME]
+    );
+
+    // Replaying the captured transcript byte-for-byte against a fresh
+    // nonce must fail: the MAC is bound to the challenge nonce, and the
+    // supervisor never issues the same nonce twice.
+    let nonce2 = 0x5555_6666_7777_8888;
+    let (res, written) = drive_server(transcript, nonce2);
+    let err = res.expect_err("replayed AUTH must not verify");
+    assert!(err.to_string().contains("MAC"), "{err}");
+    let last = written.last().expect("a REJECT was written");
+    assert_eq!(last.kind, kind::REJECT);
+    let (code, msg) = ipc::parse_reject_body(&last.body).unwrap();
+    assert_eq!(code, reject::AUTH, "reject reason: {msg}");
+}
+
+#[test]
+fn each_vetting_failure_gets_its_own_reject_code() {
+    let nonce = 0x5EED;
+
+    // Protocol-version skew.
+    let skewed = Hello {
+        proto: 999,
+        ..test_hello()
+    };
+    let (res, written) = drive_server(hello_frame(&skewed), nonce);
+    assert!(res.is_err());
+    let (code, msg) = ipc::parse_reject_body(&written.last().unwrap().body).unwrap();
+    assert_eq!(code, reject::VERSION, "{msg}");
+    assert!(msg.contains("version skew"), "{msg}");
+
+    // A slot outside the fleet.
+    let foreign_slot = Hello {
+        slot: 99,
+        ..test_hello()
+    };
+    let (res, written) = drive_server(hello_frame(&foreign_slot), nonce);
+    assert!(res.is_err());
+    let (code, msg) = ipc::parse_reject_body(&written.last().unwrap().body).unwrap();
+    assert_eq!(code, reject::SLOT, "{msg}");
+
+    // A worker carrying a different run's program fingerprint.
+    let stale = Hello {
+        fingerprint: 0xDEAD_BEEF,
+        ..test_hello()
+    };
+    let (res, written) = drive_server(hello_frame(&stale), nonce);
+    assert!(res.is_err());
+    let (code, msg) = ipc::parse_reject_body(&written.last().unwrap().body).unwrap();
+    assert_eq!(code, reject::FINGERPRINT, "{msg}");
+
+    // A first frame that is not HELLO at all.
+    let barge_in = WireMsg::new(kind::BATCH, 0, ipc::batch_body(0, b"x")).frame();
+    let (res, written) = drive_server(barge_in, nonce);
+    assert!(res.is_err());
+    let (code, msg) = ipc::parse_reject_body(&written.last().unwrap().body).unwrap();
+    assert_eq!(code, reject::PROTOCOL, "{msg}");
+
+    // The wrong shared secret.
+    let hello = test_hello();
+    let mut wrong_secret = hello_frame(&hello);
+    wrong_secret.extend_from_slice(&auth_frame(keyed_mac(
+        b"not-the-secret",
+        &mac_message(nonce, &hello),
+    )));
+    let (res, written) = drive_server(wrong_secret, nonce);
+    assert!(res.is_err());
+    let (code, msg) = ipc::parse_reject_body(&written.last().unwrap().body).unwrap();
+    assert_eq!(code, reject::AUTH, "{msg}");
+}
+
+#[test]
+fn truncated_auth_is_a_handshake_error_not_a_panic() {
+    let cfg = test_config();
+    let hello = test_hello();
+    let nonce = 0x5EED;
+    let auth = auth_frame(keyed_mac(&cfg.secret, &mac_message(nonce, &hello)));
+    for cut in 1..auth.len() {
+        let mut input = hello_frame(&hello);
+        input.extend_from_slice(&auth[..cut]);
+        let (res, _) = drive_server(input, nonce);
+        assert!(res.is_err(), "AUTH cut at {cut} authenticated");
+    }
+}
+
+#[test]
+fn all_handshake_failures_exit_with_the_usage_code() {
+    // Every rejection path maps to exit code 2 — the CLI contract for
+    // "the run could not even be set up correctly".
+    for input in [
+        Vec::new(),
+        b"not a frame at all".to_vec(),
+        hello_frame(&Hello {
+            proto: 999,
+            ..test_hello()
+        }),
+    ] {
+        let (res, _) = drive_server(input, 1);
+        assert_eq!(res.unwrap_err().exit_code(), 2);
+    }
+}
